@@ -1,0 +1,191 @@
+package bcp_test
+
+// Black-box tests of the public facade: everything an adopter of the
+// library touches, exercised end to end through the package bcp API only.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtcl/bcp"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g := bcp.NewTorus(8, 8, 200)
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+
+	conn, err := mgr.Establish(0, 36, bcp.DefaultSpec(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Primary == nil || len(conn.Backups) != 1 {
+		t.Fatal("connection incomplete")
+	}
+	if !conn.Primary.Path.ComponentDisjoint(conn.Backups[0].Path) {
+		t.Fatal("channels not disjoint")
+	}
+	if pr := mgr.ConnectionPr(conn); pr < 0.999 || pr > 1 {
+		t.Fatalf("Pr = %g", pr)
+	}
+
+	// Transactional failure trial.
+	stats := mgr.Trial(bcp.SingleLink(conn.Primary.Path.Links()[0]), bcp.OrderByConn, nil)
+	if stats.RFast() != 1 {
+		t.Fatalf("RFast = %g", stats.RFast())
+	}
+
+	// Message-level recovery.
+	eng := bcp.NewEngine(1)
+	proto := bcp.NewProtocol(eng, mgr, bcp.DefaultProtocolConfig())
+	if err := proto.StartTraffic(conn.ID, 1000); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(bcp.Time(50*time.Millisecond), func() {
+		proto.FailLink(conn.Primary.Path.Links()[2])
+	})
+	eng.RunFor(500 * time.Millisecond)
+	if len(proto.SourceSwitches(conn.ID)) != 1 {
+		t.Fatal("no recovery")
+	}
+	if proto.Stats().DataDelivered == 0 {
+		t.Fatal("no data delivered")
+	}
+}
+
+func TestPublicTopologyAndRouting(t *testing.T) {
+	for _, g := range []*bcp.Graph{
+		bcp.NewTorus(4, 4, 100), bcp.NewMesh(3, 5, 100), bcp.NewRing(6, 10),
+		bcp.NewLine(4, 10), bcp.NewHypercube(3, 10), bcp.NewRandom(20, 3, 10, 1),
+	} {
+		if g.NumNodes() == 0 || g.NumLinks() == 0 {
+			t.Fatalf("%s empty", g.Name())
+		}
+	}
+	g := bcp.NewTorus(4, 4, 100)
+	if d := bcp.Distance(g, 0, 5); d != 2 {
+		t.Fatalf("distance = %d", d)
+	}
+	p, ok := bcp.ShortestPath(g, 0, 5, bcp.RoutingConstraint{})
+	if !ok || p.Hops() != 2 {
+		t.Fatal("shortest path wrong")
+	}
+	seq := bcp.SequentialDisjointPaths(g, 0, 5, 4, bcp.RoutingConstraint{})
+	flow := bcp.MaxDisjointPaths(g, 0, 5, 4, bcp.RoutingConstraint{})
+	if len(flow) < len(seq) {
+		t.Fatal("flow found fewer paths than greedy")
+	}
+}
+
+func TestPublicReliabilityMath(t *testing.T) {
+	s := bcp.SimultaneousActivation(1e-4, 9, 9, 3)
+	if s < 2.9e-4 || s > 3.1e-4 {
+		t.Fatalf("S = %g", s)
+	}
+	if nu := bcp.NuForDegree(1e-4, 3); s >= nu {
+		// share 3 components at mux=3: not multiplexed
+	} else {
+		t.Fatal("threshold semantics wrong")
+	}
+	pr := bcp.Pr(1e-4, 9, nil)
+	if pr <= 0.999 || pr >= 1 {
+		t.Fatalf("Pr = %g", pr)
+	}
+	m := bcp.DConnModel{Lambda1: 1e-3, Lambda2: 1e-3, Mu: 10}
+	if r := m.Reliability(10); r < 0.999 || r > 1 {
+		t.Fatalf("R(10) = %g", r)
+	}
+	if b := bcp.MuxFailureBound(0.001, []int{1, 2}); b <= 0 || b >= 1 {
+		t.Fatalf("bound = %g", b)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	g := bcp.NewTorus(4, 4, 200)
+	if got := len(bcp.AllPairs(g, bcp.DefaultSpec(), nil)); got != 240 {
+		t.Fatalf("all pairs = %d", got)
+	}
+	rng := bcp.NewRand(1)
+	hs := bcp.HotSpot(g, bcp.HotSpotConfig{
+		Requests: 50, HotNodes: []bcp.NodeID{5}, HotFraction: 0.5,
+		Spec: bcp.DefaultSpec(),
+	}, rng)
+	if len(hs) != 50 {
+		t.Fatalf("hotspot = %d", len(hs))
+	}
+	dyn := bcp.Dynamic(g, bcp.DynamicConfig{
+		ArrivalRate: 100, MeanHolding: time.Second, Duration: time.Second,
+		Spec: bcp.DefaultSpec(),
+	}, rng)
+	if len(dyn) == 0 {
+		t.Fatal("no dynamic requests")
+	}
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+	eng := bcp.NewEngine(2)
+	stats := bcp.RunChurn(eng, mgr, dyn)
+	eng.Run()
+	if stats.Established == 0 {
+		t.Fatal("churn established nothing")
+	}
+}
+
+func TestPublicNegotiatedEstablishment(t *testing.T) {
+	g := bcp.NewTorus(8, 8, 200)
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+	conn, err := mgr.EstablishWithPr(0, 36, bcp.DefaultSpec(), 0.9999, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ConnectionPr(conn) < 0.9999 {
+		t.Fatal("negotiated Pr not met")
+	}
+}
+
+func TestPublicApplyRecovery(t *testing.T) {
+	g := bcp.NewTorus(6, 6, 200)
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+	reqs := bcp.AllPairs(g, bcp.DefaultSpec(), []int{3})
+	bcp.EstablishWorkload(mgr, reqs[:300])
+	rs, err := mgr.Apply(bcp.SingleNode(7), bcp.OrderByPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.FailedPrimaries == 0 {
+		t.Fatal("node 7 hit nothing")
+	}
+	if err := mgr.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBackupRoutingModes(t *testing.T) {
+	for _, mode := range []bcp.Config{
+		func() bcp.Config { c := bcp.DefaultConfig(); c.BackupRouting = bcp.RouteSequential; return c }(),
+		func() bcp.Config { c := bcp.DefaultConfig(); c.BackupRouting = bcp.RouteMaxFlow; return c }(),
+		func() bcp.Config { c := bcp.DefaultConfig(); c.BackupRouting = bcp.RouteLoadAware; return c }(),
+	} {
+		mgr := bcp.NewManager(bcp.NewTorus(6, 6, 200), mode)
+		conn, err := mgr.Establish(0, 14, bcp.DefaultSpec(), []int{3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !conn.Primary.Path.ComponentDisjoint(conn.Backups[0].Path) {
+			t.Fatal("backup not disjoint")
+		}
+	}
+}
+
+func TestPublicSchemeConstants(t *testing.T) {
+	if bcp.Scheme1 == bcp.Scheme2 || bcp.Scheme2 == bcp.Scheme3 {
+		t.Fatal("scheme constants collide")
+	}
+	cfg := bcp.DefaultProtocolConfig()
+	cfg.Scheme = bcp.Scheme2
+	mgr := bcp.NewManager(bcp.NewTorus(4, 4, 200), bcp.DefaultConfig())
+	if _, err := mgr.Establish(0, 5, bcp.DefaultSpec(), []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	proto := bcp.NewProtocol(bcp.NewEngine(1), mgr, cfg)
+	if proto == nil {
+		t.Fatal("protocol nil")
+	}
+}

@@ -1,0 +1,271 @@
+package bcp
+
+import (
+	"math/rand"
+
+	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/experiment"
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/workload"
+)
+
+// --- Topology ----------------------------------------------------------
+
+// Core identifier and graph types.
+type (
+	// NodeID identifies a node.
+	NodeID = topology.NodeID
+	// LinkID identifies a simplex link.
+	LinkID = topology.LinkID
+	// Graph is an immutable network topology.
+	Graph = topology.Graph
+	// Path is a directed path through a Graph.
+	Path = topology.Path
+)
+
+// Topology generators.
+var (
+	// NewTorus builds a wrapped mesh — the paper's main evaluation network
+	// is NewTorus(8, 8, 200).
+	NewTorus = topology.NewTorus
+	// NewMesh builds a grid without wraparound — the paper's second
+	// network is NewMesh(8, 8, 300).
+	NewMesh = topology.NewMesh
+	// NewRing builds a bidirectional ring.
+	NewRing = topology.NewRing
+	// NewLine builds a path graph.
+	NewLine = topology.NewLine
+	// NewHypercube builds a binary hypercube.
+	NewHypercube = topology.NewHypercube
+	// NewRandom builds a connected random graph.
+	NewRandom = topology.NewRandom
+	// PathBetween builds a Path from a node sequence.
+	PathBetween = topology.PathBetween
+	// ParseTopology reads a graph from the text format (see cmd/bcptopo).
+	ParseTopology = topology.Parse
+	// FormatTopology writes a graph in the text format.
+	FormatTopology = topology.Format
+)
+
+// --- Channels and connections ------------------------------------------
+
+type (
+	// ConnID identifies a D-connection.
+	ConnID = rtchan.ConnID
+	// ChannelID identifies a channel.
+	ChannelID = rtchan.ChannelID
+	// TrafficSpec is a channel's traffic contract.
+	TrafficSpec = rtchan.TrafficSpec
+	// Channel is an established real-time channel.
+	Channel = rtchan.Channel
+	// DConnection is a dependable connection: primary + backups.
+	DConnection = core.DConnection
+	// Config parameterizes a Manager.
+	Config = core.Config
+	// Manager is the BCP control plane: establishment, backup
+	// multiplexing, failure trials, recovery.
+	Manager = core.Manager
+)
+
+// DefaultSpec returns the paper's homogeneous traffic contract: 1 Mbps,
+// delay bound satisfied within 2 hops over shortest.
+func DefaultSpec() TrafficSpec { return rtchan.DefaultSpec() }
+
+// DefaultConfig returns the paper's control-plane parameters (λ = 1e-4,
+// sequential shortest-path backup routing).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewManager creates a BCP control plane over an empty network.
+func NewManager(g *Graph, cfg Config) *Manager { return core.NewManager(g, cfg) }
+
+// Backup routing algorithm selectors.
+const (
+	// RouteSequential is the paper's sequential shortest-path method.
+	RouteSequential = core.RouteSequential
+	// RouteMaxFlow finds disjoint paths by unit-capacity max-flow.
+	RouteMaxFlow = core.RouteMaxFlow
+	// RouteLoadAware weights links by prospective spare growth ([HAN97b]).
+	RouteLoadAware = core.RouteLoadAware
+)
+
+// --- Failures and recovery ---------------------------------------------
+
+type (
+	// Failure is a set of simultaneously failed components.
+	Failure = core.Failure
+	// RecoveryStats summarizes one failure event.
+	RecoveryStats = core.RecoveryStats
+	// ActivationOrder selects how simultaneous activations contend.
+	ActivationOrder = core.ActivationOrder
+)
+
+// Failure constructors.
+var (
+	// SingleLink fails one simplex link.
+	SingleLink = core.SingleLink
+	// SingleNode fails one node (and every channel through it).
+	SingleNode = core.SingleNode
+	// DoubleNode fails two nodes simultaneously.
+	DoubleNode = core.DoubleNode
+	// NewFailure builds an arbitrary component failure.
+	NewFailure = core.NewFailure
+)
+
+// Activation orders.
+const (
+	// OrderByConn processes activations in establishment order.
+	OrderByConn = core.OrderByConn
+	// OrderByPriority activates smaller multiplexing degrees first (§4.3).
+	OrderByPriority = core.OrderByPriority
+	// OrderRandom shuffles contention (models unsynchronized arrivals).
+	OrderRandom = core.OrderRandom
+)
+
+// --- Protocol engine ----------------------------------------------------
+
+type (
+	// Engine is the deterministic discrete-event executive.
+	Engine = sim.Engine
+	// Time is a point in simulated time.
+	Time = sim.Time
+	// Protocol is the message-level BCP engine (daemons, RCCs, data).
+	Protocol = bcpd.Network
+	// ProtocolConfig parameterizes the protocol engine.
+	ProtocolConfig = bcpd.Config
+	// Scheme selects the channel-switching scheme of Figure 5.
+	Scheme = bcpd.Scheme
+)
+
+// Channel-switching schemes.
+const (
+	Scheme1 = bcpd.Scheme1
+	Scheme2 = bcpd.Scheme2
+	Scheme3 = bcpd.Scheme3
+)
+
+// NewEngine creates a simulation engine with a deterministic seed.
+func NewEngine(seed int64) *Engine { return sim.New(seed) }
+
+// DefaultProtocolConfig returns protocol timing typical of the paper.
+func DefaultProtocolConfig() ProtocolConfig { return bcpd.DefaultConfig() }
+
+// NewProtocol builds the message-level engine over an established manager.
+func NewProtocol(eng *Engine, mgr *Manager, cfg ProtocolConfig) *Protocol {
+	return bcpd.New(eng, mgr, cfg)
+}
+
+// --- Reliability mathematics --------------------------------------------
+
+var (
+	// SimultaneousActivation is S(Bi,Bj) of §3.2.
+	SimultaneousActivation = reliability.SimultaneousActivation
+	// NuForDegree converts the integer degree "mux=α" into the ν threshold.
+	NuForDegree = reliability.NuForDegree
+	// MuxFailureBound is the P_muxf upper bound of §3.3.
+	MuxFailureBound = reliability.MuxFailureBound
+	// Pr is the combinatorial D-connection reliability of §3.3.
+	Pr = reliability.Pr
+)
+
+// DConnModel is the Figure 3(a) Markov reliability model.
+type DConnModel = reliability.DConnModel
+
+// BackupInfo describes one backup channel for the Pr computation.
+type BackupInfo = reliability.BackupInfo
+
+// --- Routing helpers -----------------------------------------------------
+
+var (
+	// Distance returns unconstrained hop distance.
+	Distance = routing.Distance
+	// ShortestPath finds a constrained shortest path.
+	ShortestPath = routing.ShortestPath
+	// SequentialDisjointPaths is the paper's disjoint routing method.
+	SequentialDisjointPaths = routing.SequentialDisjointPaths
+	// MaxDisjointPaths is the flow-based alternative ([WHA90, SID91]).
+	MaxDisjointPaths = routing.MaxDisjointPaths
+)
+
+// RoutingConstraint restricts a path search.
+type RoutingConstraint = routing.Constraint
+
+// --- Workloads ------------------------------------------------------------
+
+type (
+	// Request is one connection request of a workload.
+	Request = workload.Request
+	// HotSpotConfig parameterizes the inhomogeneous workload of §7.1.
+	HotSpotConfig = workload.HotSpotConfig
+	// DynamicConfig parameterizes Poisson churn.
+	DynamicConfig = workload.DynamicConfig
+)
+
+var (
+	// AllPairs is the paper's static 64·63-connection workload.
+	AllPairs = workload.AllPairs
+	// HotSpot generates the inhomogeneous workload.
+	HotSpot = workload.HotSpot
+	// Dynamic generates Poisson churn.
+	Dynamic = workload.Dynamic
+	// EstablishWorkload applies a static workload to a manager.
+	EstablishWorkload = workload.Establish
+	// RunChurn schedules a dynamic workload on an engine.
+	RunChurn = workload.RunChurn
+)
+
+// --- Experiments ----------------------------------------------------------
+
+// Evaluation network kinds.
+const (
+	Torus8x8 = experiment.Torus8x8
+	Mesh8x8  = experiment.Mesh8x8
+)
+
+type (
+	// ExperimentOptions controls the evaluation harness.
+	ExperimentOptions = experiment.Options
+	// Table1Result is a Table 1/3 reproduction.
+	Table1Result = experiment.Table1Result
+	// Table2Result is a Table 2 reproduction.
+	Table2Result = experiment.Table2Result
+)
+
+var (
+	// DefaultExperimentOptions mirrors the paper's setup.
+	DefaultExperimentOptions = experiment.DefaultOptions
+	// RunTable1 reproduces Table 1 (R_fast, uniform degrees).
+	RunTable1 = experiment.RunTable1
+	// RunTable2 reproduces Table 2 (mixed degrees, priority activation).
+	RunTable2 = experiment.RunTable2
+	// RunTable3 reproduces Table 3 (brute-force multiplexing).
+	RunTable3 = experiment.RunTable3
+	// RunFigure9 reproduces Figure 9 (spare bandwidth vs load).
+	RunFigure9 = experiment.RunFigure9
+	// RunFigure3 compares the Markov and combinatorial reliability models.
+	RunFigure3 = experiment.RunFigure3
+	// RunSection5 validates the recovery-delay bound.
+	RunSection5 = experiment.RunSection5
+	// RunSchemeComparison compares the three switching schemes.
+	RunSchemeComparison = experiment.RunSchemeComparison
+	// RunHotspot compares proposed vs brute-force under inhomogeneity.
+	RunHotspot = experiment.RunHotspot
+	// RunAblation evaluates the design ablations (routing, Π rule).
+	RunAblation = experiment.RunAblation
+	// RunSeverity sweeps R_fast against simultaneous failure counts.
+	RunSeverity = experiment.RunSeverity
+)
+
+// DelayModel parameterizes the analytic delay-bound admission test.
+type DelayModel = rtchan.DelayModel
+
+// DefaultDelayModel matches the protocol engine's default timing.
+func DefaultDelayModel() DelayModel { return rtchan.DefaultDelayModel() }
+
+// NewRand returns a deterministic random source for tie-breaking and
+// workload generation.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

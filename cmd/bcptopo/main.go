@@ -1,0 +1,199 @@
+// Command bcptopo inspects the topologies used by the BCP simulations:
+// size, capacity, distance structure, and disjoint-path availability between
+// node pairs (which bounds how many backups a D-connection can have).
+//
+// Usage:
+//
+//	bcptopo -topo torus:8x8 -capacity 200
+//	bcptopo -topo mesh:8x8 -src 0 -dst 63
+//	bcptopo -topo random:40:4 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "torus:8x8", "topology: torus:RxC | mesh:RxC | ring:N | line:N | hypercube:D | random:N:avgdeg")
+		capacity = flag.Float64("capacity", 200, "link capacity (Mbps)")
+		seed     = flag.Int64("seed", 1, "seed for random topologies")
+		src      = flag.Int("src", -1, "source node for pair analysis")
+		dst      = flag.Int("dst", -1, "destination node for pair analysis")
+		dot      = flag.String("dot", "", "write the topology as Graphviz DOT to this file ('-' for stdout)")
+		file     = flag.String("file", "", "load the topology from a file in the text format instead of -topo")
+	)
+	flag.Parse()
+
+	var g *topology.Graph
+	var err error
+	if *file != "" {
+		f, ferr := os.Open(*file)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "bcptopo: %v\n", ferr)
+			os.Exit(2)
+		}
+		g, err = topology.Parse(f)
+		f.Close()
+	} else {
+		g, err = build(*topo, *capacity, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcptopo: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: %d nodes, %d simplex links, total capacity %.0f Mbps\n",
+		g.Name(), g.NumNodes(), g.NumLinks(), g.TotalCapacity())
+
+	minDeg, maxDeg := 1<<30, 0
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.OutDegree(topology.NodeID(v))
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("degree: min %d, max %d\n", minDeg, maxDeg)
+
+	// Distance structure: mean and eccentricity from exhaustive BFS.
+	var sum, count, diameter int
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			dist := routing.Distance(g, topology.NodeID(s), topology.NodeID(d))
+			if dist < 0 {
+				fmt.Printf("disconnected: %d cannot reach %d\n", s, d)
+				os.Exit(1)
+			}
+			sum += dist
+			count++
+			if dist > diameter {
+				diameter = dist
+			}
+		}
+	}
+	fmt.Printf("distance: mean %.3f hops, diameter %d\n", float64(sum)/float64(count), diameter)
+
+	// Disjoint-path availability (how many backups a connection can have).
+	hist := map[int]int{}
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			k := len(routing.MaxDisjointPaths(g, topology.NodeID(s), topology.NodeID(d), maxDeg, routing.Constraint{}))
+			hist[k]++
+		}
+	}
+	fmt.Printf("component-disjoint paths per pair:")
+	for k := 0; k <= maxDeg; k++ {
+		if hist[k] > 0 {
+			fmt.Printf("  %d paths: %d pairs", k, hist[k])
+		}
+	}
+	fmt.Println()
+
+	if *src >= 0 && *dst >= 0 {
+		analyzePair(g, topology.NodeID(*src), topology.NodeID(*dst))
+	}
+
+	if *dot != "" {
+		var opts topology.DotOptions
+		if *src >= 0 && *dst >= 0 {
+			opts.HighlightPaths = routing.SequentialDisjointPaths(g, topology.NodeID(*src), topology.NodeID(*dst), 4, routing.Constraint{})
+		}
+		out := os.Stdout
+		if *dot != "-" {
+			f, err := os.Create(*dot)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bcptopo: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := g.WriteDot(out, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "bcptopo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func analyzePair(g *topology.Graph, src, dst topology.NodeID) {
+	fmt.Printf("\npair %d -> %d:\n", src, dst)
+	fmt.Printf("  shortest distance: %d hops\n", routing.Distance(g, src, dst))
+	fmt.Println("  sequential disjoint routing (the paper's method):")
+	for i, p := range routing.SequentialDisjointPaths(g, src, dst, 8, routing.Constraint{}) {
+		fmt.Printf("    channel %d: %v (%d hops)\n", i, p, p.Hops())
+	}
+	fmt.Println("  max-flow disjoint routing:")
+	for i, p := range routing.MaxDisjointPaths(g, src, dst, 8, routing.Constraint{}) {
+		fmt.Printf("    channel %d: %v (%d hops)\n", i, p, p.Hops())
+	}
+}
+
+func build(spec string, capacity float64, seed int64) (*topology.Graph, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (*topology.Graph, error) {
+		return nil, fmt.Errorf("bad topology spec %q", spec)
+	}
+	switch parts[0] {
+	case "torus", "mesh":
+		if len(parts) != 2 {
+			return bad()
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return bad()
+		}
+		r, err1 := strconv.Atoi(dims[0])
+		c, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		if parts[0] == "torus" {
+			return topology.NewTorus(r, c, capacity), nil
+		}
+		return topology.NewMesh(r, c, capacity), nil
+	case "ring", "line", "hypercube":
+		if len(parts) != 2 {
+			return bad()
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return bad()
+		}
+		switch parts[0] {
+		case "ring":
+			return topology.NewRing(n, capacity), nil
+		case "line":
+			return topology.NewLine(n, capacity), nil
+		default:
+			return topology.NewHypercube(n, capacity), nil
+		}
+	case "random":
+		if len(parts) != 3 {
+			return bad()
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		deg, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return topology.NewRandom(n, deg, capacity, seed), nil
+	default:
+		return bad()
+	}
+}

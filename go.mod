@@ -1,0 +1,3 @@
+module github.com/rtcl/bcp
+
+go 1.22

@@ -1,0 +1,264 @@
+// Package baseline implements the comparison schemes of the paper's §7.4 and
+// §8: brute-force multiplexing (a uniform spare reservation on every link,
+// ignoring network state) and recovery by re-establishment from scratch with
+// no reserved spare resources ([BAN93]-style).
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// BruteForce evaluates backup activation when every link reserves the same
+// fixed amount of spare bandwidth regardless of which backups traverse it.
+// The paper sizes this uniform reservation to the *average* spare required
+// by the proposed scheme, making the comparison resource-neutral.
+type BruteForce struct {
+	m        *core.Manager
+	perLink  float64
+	capLimit bool
+}
+
+// NewBruteForce wraps an established manager. perLink is the uniform spare
+// reservation applied to every link. If capLimit is true the usable spare on
+// a link is additionally capped by the link's actual headroom
+// (capacity − dedicated), which matters on heavily loaded links.
+func NewBruteForce(m *core.Manager, perLink float64, capLimit bool) *BruteForce {
+	return &BruteForce{m: m, perLink: perLink, capLimit: capLimit}
+}
+
+// PerLink returns the uniform per-link spare reservation.
+func (b *BruteForce) PerLink() float64 { return b.perLink }
+
+// UniformSpareFromManager returns the proposed scheme's average spare per
+// link, the paper's sizing rule for the brute-force comparison.
+func UniformSpareFromManager(m *core.Manager) float64 {
+	g := m.Graph()
+	var total float64
+	for _, l := range g.Links() {
+		total += m.Network().Spare(l.ID)
+	}
+	return total / float64(g.NumLinks())
+}
+
+// Trial mirrors core.Manager.Trial but draws activations from the uniform
+// pools instead of the multiplexing engine's sized pools.
+func (b *BruteForce) Trial(f core.Failure, order core.ActivationOrder, rng *rand.Rand) core.RecoveryStats {
+	var stats core.RecoveryStats
+	var needs []*core.DConnection
+	for _, conn := range b.m.Connections() {
+		if f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst) {
+			if connAffected(conn, f) {
+				stats.ExcludedConns++
+			}
+			continue
+		}
+		primaryHit := conn.Primary != nil && f.HitsPath(conn.Primary.Path)
+		for _, bk := range conn.Backups {
+			if f.HitsPath(bk.Path) {
+				stats.FailedBackups++
+			}
+		}
+		if primaryHit {
+			stats.FailedPrimaries++
+			degreeStats(&stats, conn).FailedPrimaries++
+			needs = append(needs, conn)
+		}
+	}
+	sortConns(needs, order, rng)
+
+	claimed := make(map[topology.LinkID]float64)
+	for _, conn := range needs {
+		switch b.tryActivate(conn, f, claimed) {
+		case outcomeActivated:
+			stats.FastRecovered++
+			degreeStats(&stats, conn).FastRecovered++
+		case outcomeBackupsDead:
+			stats.BackupDead++
+		case outcomeExhausted:
+			stats.MuxFailed++
+		}
+	}
+	return stats
+}
+
+type outcome uint8
+
+const (
+	outcomeActivated outcome = iota
+	outcomeBackupsDead
+	outcomeExhausted
+)
+
+func (b *BruteForce) tryActivate(conn *core.DConnection, f core.Failure, claimed map[topology.LinkID]float64) outcome {
+	bw := conn.Spec.Bandwidth
+	sawHealthy := false
+	for _, bk := range conn.Backups {
+		if f.HitsPath(bk.Path) {
+			continue
+		}
+		sawHealthy = true
+		links := bk.Path.Links()
+		ok := true
+		for _, l := range links {
+			if claimed[l]+bw > b.pool(l)+1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, l := range links {
+				claimed[l] += bw
+			}
+			return outcomeActivated
+		}
+	}
+	if sawHealthy {
+		return outcomeExhausted
+	}
+	return outcomeBackupsDead
+}
+
+// pool returns the usable uniform spare on link l.
+func (b *BruteForce) pool(l topology.LinkID) float64 {
+	if !b.capLimit {
+		return b.perLink
+	}
+	head := b.m.Network().Capacity(l) - b.m.Network().Dedicated(l)
+	if head < b.perLink {
+		return head
+	}
+	return b.perLink
+}
+
+func connAffected(conn *core.DConnection, f core.Failure) bool {
+	if conn.Primary != nil && f.HitsPath(conn.Primary.Path) {
+		return true
+	}
+	for _, bk := range conn.Backups {
+		if f.HitsPath(bk.Path) {
+			return true
+		}
+	}
+	return f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst)
+}
+
+func degreeStats(stats *core.RecoveryStats, conn *core.DConnection) *core.DegreeStats {
+	alpha := 1 << 30
+	if len(conn.Degrees) > 0 {
+		alpha = conn.Degrees[0]
+	}
+	if stats.ByDegree == nil {
+		stats.ByDegree = make(map[int]*core.DegreeStats)
+	}
+	d := stats.ByDegree[alpha]
+	if d == nil {
+		d = &core.DegreeStats{}
+		stats.ByDegree[alpha] = d
+	}
+	return d
+}
+
+func sortConns(conns []*core.DConnection, order core.ActivationOrder, rng *rand.Rand) {
+	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	switch order {
+	case core.OrderByPriority:
+		sort.SliceStable(conns, func(i, j int) bool {
+			di, dj := 1<<30, 1<<30
+			if len(conns[i].Degrees) > 0 {
+				di = conns[i].Degrees[0]
+			}
+			if len(conns[j].Degrees) > 0 {
+				dj = conns[j].Degrees[0]
+			}
+			return di < dj
+		})
+	case core.OrderRandom:
+		if rng != nil {
+			rng.Shuffle(len(conns), func(i, j int) { conns[i], conns[j] = conns[j], conns[i] })
+		}
+	}
+}
+
+// Reestablish evaluates the [BAN93]-style baseline: no backups and no spare
+// reservation; after a failure each disabled connection attempts to
+// establish a brand-new channel on the residual network. It reports the
+// fraction of failed primaries that could be re-established at all (the
+// scheme gives no guarantee and is slow — every success still pays a full
+// round of signaling, which the protocol-level experiments quantify).
+type Reestablish struct {
+	m *core.Manager
+}
+
+// NewReestablish wraps a manager whose connections were established without
+// backups.
+func NewReestablish(m *core.Manager) *Reestablish { return &Reestablish{m: m} }
+
+// Trial simulates post-failure re-establishment: failed primaries retry on
+// the residual topology (failed components removed) against the residual
+// bandwidth plus their own released reservations, honoring the QoS hop rule.
+// Recovered connections' new reservations compete with later retries,
+// matching the contention the paper describes.
+func (r *Reestablish) Trial(f core.Failure) core.RecoveryStats {
+	var stats core.RecoveryStats
+	g := r.m.Graph()
+	net := r.m.Network()
+
+	// Residual free bandwidth per link: free + what failed channels release.
+	freed := make(map[topology.LinkID]float64)
+	var needs []*core.DConnection
+	for _, conn := range r.m.Connections() {
+		if conn.Primary == nil {
+			continue
+		}
+		if f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst) {
+			if f.HitsPath(conn.Primary.Path) {
+				stats.ExcludedConns++
+			}
+			continue
+		}
+		if f.HitsPath(conn.Primary.Path) {
+			stats.FailedPrimaries++
+			needs = append(needs, conn)
+			for _, l := range conn.Primary.Path.Links() {
+				freed[l] += conn.Spec.Bandwidth
+			}
+		}
+	}
+	sort.Slice(needs, func(i, j int) bool { return needs[i].ID < needs[j].ID })
+
+	taken := make(map[topology.LinkID]float64)
+	for _, conn := range needs {
+		bw := conn.Spec.Bandwidth
+		base := routing.Distance(g, conn.Src, conn.Dst)
+		c := routing.Constraint{
+			MaxHops: base + conn.Spec.SlackHops,
+			LinkAllowed: func(l topology.LinkID) bool {
+				if f.LinkFailed(l) {
+					return false
+				}
+				lk := g.Link(l)
+				if f.NodeFailed(lk.From) || f.NodeFailed(lk.To) {
+					return false
+				}
+				return net.Free(l)+freed[l]-taken[l] >= bw-1e-9
+			},
+			NodeAllowed: func(n topology.NodeID) bool { return !f.NodeFailed(n) },
+		}
+		if p, ok := routing.ShortestPath(g, conn.Src, conn.Dst, c); ok {
+			for _, l := range p.Links() {
+				taken[l] += bw
+			}
+			stats.FastRecovered++ // "recovered" here, though not fast: see docs
+		}
+	}
+	return stats
+}
+
+// Spec re-exports the substrate's traffic spec type for baseline callers.
+type Spec = rtchan.TrafficSpec

@@ -1,0 +1,364 @@
+// Package bcpd is the message-level BCP protocol engine: one BCP daemon per
+// node, exchanging failure reports, activation messages, and rejoin traffic
+// over per-link real-time control channels (internal/rcc), with data packets
+// flowing through priority link schedulers (internal/sched) — all inside a
+// deterministic discrete-event simulation (internal/sim).
+//
+// Where internal/core gives the transactional view the paper's tables are
+// computed from, this package executes the protocol of §4 and §5 in
+// simulated time: detection latency, per-hop control delays, channel-state
+// machines (N/P/B/U, Figure 4), the three channel-switching schemes
+// (Figure 5), spare-bandwidth claims with multiplexing failures, soft-state
+// rejoin timers and channel repair (Figure 6), and the data-message loss of
+// Figure 8.
+package bcpd
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/rcc"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sched"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/wire"
+)
+
+// Scheme selects the failure-reporting / channel-switching scheme of §4.2.
+type Scheme uint8
+
+const (
+	// Scheme1: the downstream neighbor of the failed component reports to
+	// the channel destination, which activates the backup toward the
+	// source; data resumes when the source receives the activation.
+	Scheme1 Scheme = 1
+	// Scheme2: the upstream neighbor reports to the source, which activates
+	// toward the destination and resumes data immediately.
+	Scheme2 Scheme = 2
+	// Scheme3: both of the above; activations meeting in the middle are
+	// discarded. The paper's choice.
+	Scheme3 Scheme = 3
+)
+
+// Config parameterizes the protocol engine.
+type Config struct {
+	// Scheme is the channel-switching scheme (default Scheme3).
+	Scheme Scheme
+	// RCC are the control-channel parameters.
+	RCC rcc.Params
+	// PropDelay is the per-link propagation delay.
+	PropDelay sim.Duration
+	// DetectionLatency is the time from a component crash to its neighbors
+	// noticing ([HAN97a] is out of scope; this models its output).
+	DetectionLatency sim.Duration
+	// RejoinTimeout is the soft-state timer for unhealthy channels (§4.4).
+	RejoinTimeout sim.Duration
+	// RejoinProbeDelay is how long the source waits after a failure report
+	// before sending a rejoin-request along the broken path.
+	RejoinProbeDelay sim.Duration
+	// DataMsgSize is the size of one data message in bytes.
+	DataMsgSize int
+	// MaxQueue bounds each link scheduler class queue (0 = unbounded).
+	MaxQueue int
+
+	// PriorityDelayUnit enables the delayed-activation flavor of
+	// priority-based activation (§4.3): a backup with multiplexing degree α
+	// waits α·PriorityDelayUnit before its activation message is sent, so
+	// more critical connections claim spare bandwidth first. Zero disables.
+	PriorityDelayUnit sim.Duration
+	// AllowPreemption enables the preemption flavor of §4.3: when a link's
+	// spare is exhausted, an activation may revoke the claim of a strictly
+	// lower-priority (larger-degree) backup, which is then handled as if it
+	// had failed.
+	AllowPreemption bool
+
+	// ReplenishDelay, when positive, restores a connection's backup count
+	// this long after a successful recovery (§4.4: resource reconfiguration
+	// is not time-critical, so replenishment runs well after switching).
+	// The new backups reuse the connection's last configured degree.
+	ReplenishDelay sim.Duration
+	// ReplenishTarget is the backup count to restore (default 1).
+	ReplenishTarget int
+
+	// HeartbeatInterval enables heartbeat-based failure detection: every
+	// daemon emits a heartbeat per outgoing link at this interval, and the
+	// downstream neighbor declares the link failed after HeartbeatMiss
+	// silent intervals. Zero (the default) keeps oracle detection:
+	// FailLink/FailNode notify the neighbors after DetectionLatency.
+	HeartbeatInterval sim.Duration
+	// HeartbeatMiss is the consecutive-miss threshold (default 3).
+	HeartbeatMiss int
+
+	// Trace, when non-nil, receives a line for every protocol event
+	// (reports, activations, claims, rejoins), timestamped in simulated
+	// time. Used by the bcptrace tool and debugging sessions.
+	Trace func(at sim.Time, node topology.NodeID, event string)
+}
+
+// DefaultConfig returns timing typical of the paper's setting: millisecond
+// propagation, fast detection, rejoin timers far above the recovery delay.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:           Scheme3,
+		RCC:              rcc.DefaultParams(),
+		PropDelay:        sim.Duration(500 * time.Microsecond),
+		DetectionLatency: sim.Duration(time.Millisecond),
+		RejoinTimeout:    sim.Duration(5 * time.Second),
+		RejoinProbeDelay: sim.Duration(50 * time.Millisecond),
+		DataMsgSize:      1000,
+		MaxQueue:         0,
+	}
+}
+
+// linkRuntime is the simulated transmitter of one simplex link plus the RCC
+// endpoint that sends control frames over it.
+type linkRuntime struct {
+	id   topology.LinkID
+	sl   *sched.Link
+	rccE *rcc.Endpoint // owned by the From-side daemon; sends over this link
+	down bool
+}
+
+// Network is the protocol engine for one topology.
+type Network struct {
+	eng   *sim.Engine
+	mgr   *core.Manager
+	cfg   Config
+	links []*linkRuntime
+	nodes []*daemon
+
+	sources map[rtchan.ConnID]*source
+	sinks   map[rtchan.ConnID]*sink
+	// activated dedups resource-plane promotion per backup channel (the
+	// bidirectional activations of Scheme 3 can both reach completion).
+	activated map[rtchan.ChannelID]bool
+	// retired keeps path information for channels the resource plane has
+	// already released, so in-flight control messages (closures, stale
+	// reports) still route hop-by-hop — the analogue of each real daemon's
+	// local per-channel routing state outliving the global registry.
+	retired map[rtchan.ChannelID]*rtchan.Channel
+	// Heartbeat detection state (nil maps when disabled).
+	heartbeatLastSeen map[topology.LinkID]sim.Time
+	declaredDown      map[topology.LinkID]bool
+
+	stats Stats
+}
+
+// Stats aggregates network-wide protocol counters.
+type Stats struct {
+	Detections         uint64 // heartbeat-based failure declarations
+	ReportsGenerated   uint64
+	ActivationsStarted uint64
+	ActivationsMet     uint64 // discarded at an already-activated node
+	MuxFailures        uint64
+	Preemptions        uint64
+	RejoinRequests     uint64
+	Rejoins            uint64
+	BackupsReplenished uint64
+	Closures           uint64
+	RejoinExpiries     uint64
+	DataSent           uint64
+	DataDelivered      uint64
+	DataDropped        uint64
+}
+
+// New builds the protocol engine over an established control plane. The
+// manager's connections get per-node channel state installed (P for
+// primaries, B for backups); data sources start on demand.
+func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
+	if cfg.Scheme == 0 {
+		cfg.Scheme = Scheme3
+	}
+	g := mgr.Graph()
+	n := &Network{
+		eng:       eng,
+		mgr:       mgr,
+		cfg:       cfg,
+		links:     make([]*linkRuntime, g.NumLinks()),
+		nodes:     make([]*daemon, g.NumNodes()),
+		sources:   make(map[rtchan.ConnID]*source),
+		sinks:     make(map[rtchan.ConnID]*sink),
+		activated: make(map[rtchan.ChannelID]bool),
+		retired:   make(map[rtchan.ChannelID]*rtchan.Channel),
+
+		heartbeatLastSeen: make(map[topology.LinkID]sim.Time),
+		declaredDown:      make(map[topology.LinkID]bool),
+	}
+	for i := range n.nodes {
+		n.nodes[i] = newDaemon(n, topology.NodeID(i))
+	}
+	for _, l := range g.Links() {
+		l := l
+		lr := &linkRuntime{id: l.ID}
+		lr.sl = sched.NewLink(eng, l.Capacity, cfg.PropDelay, cfg.MaxQueue, func(p sched.Packet) {
+			n.deliver(l, p)
+		})
+		lr.rccE = rcc.NewEndpoint(eng, cfg.RCC,
+			func(frame []byte) {
+				lr.sl.Enqueue(sched.Packet{Class: sched.ClassControl, Size: len(frame), Payload: rccPayload(frame)})
+			},
+			func(c wireControl) {
+				n.nodes[l.From].handleControl(c)
+			},
+		)
+		n.links[l.ID] = lr
+	}
+	// Install channel state for everything already established.
+	for _, conn := range mgr.Connections() {
+		n.installConnection(conn)
+	}
+	n.startHeartbeats()
+	return n
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Manager returns the resource plane.
+func (n *Network) Manager() *core.Manager { return n.mgr }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Daemon returns the BCP daemon at node v (for white-box tests).
+func (n *Network) Daemon(v topology.NodeID) *daemon { return n.nodes[v] }
+
+// installConnection seeds the per-node state machines for a connection's
+// channels.
+func (n *Network) installConnection(conn *core.DConnection) {
+	if conn.Primary != nil {
+		for _, v := range conn.Primary.Path.Nodes() {
+			n.nodes[v].setState(conn.Primary.ID, stateP)
+		}
+	}
+	for _, b := range conn.Backups {
+		for _, v := range b.Path.Nodes() {
+			n.nodes[v].setState(b.ID, stateB)
+		}
+	}
+}
+
+// Establish routes and installs a new D-connection through the resource
+// plane, then seeds protocol state (used by dynamic-workload runs).
+func (n *Network) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, degrees []int) (*core.DConnection, error) {
+	conn, err := n.mgr.Establish(src, dst, spec, degrees)
+	if err != nil {
+		return nil, err
+	}
+	n.installConnection(conn)
+	return conn, nil
+}
+
+// TeardownConnection releases a D-connection through the protocol (§4.4):
+// the source daemon sends a channel-closure message down every channel's
+// path (intermediate daemons drop their state as it passes) and the
+// resource plane releases the reservations. The data source, if any, stops.
+func (n *Network) TeardownConnection(connID rtchan.ConnID) error {
+	conn := n.mgr.Connection(connID)
+	if conn == nil {
+		return fmt.Errorf("bcpd: unknown connection %d", connID)
+	}
+	n.StopTraffic(connID)
+	for _, ch := range conn.Channels() {
+		n.retired[ch.ID] = ch
+		src := n.nodes[ch.Path.Source()]
+		src.stopRejoinTimer(ch.ID)
+		src.setState(ch.ID, stateN)
+		n.stats.Closures++
+		src.forwardAlong(ch, wireControl{
+			Type:    wire.MsgChannelClosure,
+			Channel: int64(ch.ID),
+			Origin:  int32(src.id),
+			Toward:  1,
+		})
+	}
+	return n.mgr.Teardown(connID)
+}
+
+// scheduleReplenish restores the connection's backup population after a
+// recovery, once the configured delay passes (§4.4).
+func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
+	if n.cfg.ReplenishDelay <= 0 {
+		return
+	}
+	target := n.cfg.ReplenishTarget
+	if target <= 0 {
+		target = 1
+	}
+	n.eng.Schedule(n.cfg.ReplenishDelay, func() {
+		conn := n.mgr.Connection(connID)
+		if conn == nil || conn.Primary == nil || len(conn.Backups) >= target {
+			return
+		}
+		alpha := 1
+		if len(conn.Degrees) > 0 {
+			alpha = conn.Degrees[len(conn.Degrees)-1]
+		}
+		before := len(conn.Backups)
+		added, err := n.mgr.ReplenishBackups(connID, target, alpha, func(l topology.LinkID) bool {
+			return n.links[l].down
+		})
+		if err != nil || added == 0 {
+			return
+		}
+		n.stats.BackupsReplenished += uint64(added)
+		for _, b := range conn.Backups[before:] {
+			for _, v := range b.Path.Nodes() {
+				n.nodes[v].setState(b.ID, stateB)
+			}
+			n.trace(conn.Src, "connection %d replenished with backup %d (%v)", connID, b.ID, b.Path)
+		}
+	})
+}
+
+// deliver dispatches a packet arriving at the far end of link l.
+func (n *Network) deliver(l topology.Link, p sched.Packet) {
+	switch pl := p.Payload.(type) {
+	case rccPayload:
+		// Control frames are handled by the receiving daemon's endpoint for
+		// the reverse direction (the endpoint pairs A->B sending with B->A
+		// reception).
+		rev := n.mgr.Graph().Reverse(l.ID)
+		if rev == topology.NoLink {
+			return
+		}
+		n.links[rev].rccE.HandleFrame([]byte(pl))
+	case dataPayload:
+		n.nodes[l.To].handleData(pl)
+	case heartbeatPayload:
+		n.heartbeatLastSeen[pl.link] = n.eng.Now()
+	default:
+		panic(fmt.Sprintf("bcpd: unknown payload %T", p.Payload))
+	}
+}
+
+// trace emits a protocol-event line when tracing is enabled.
+func (n *Network) trace(node topology.NodeID, format string, args ...interface{}) {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace(n.eng.Now(), node, fmt.Sprintf(format, args...))
+	}
+}
+
+// submitControl sends a control message from node v over link l's RCC.
+// The message is submitted even when the link is down: the RCC's hop-by-hop
+// retransmission holds it until the link is repaired, implementing the
+// paper's rejoin semantics ("if the failed component becomes healthy again
+// before the rejoin timer expires, it will also forward the rejoin-request
+// message"). Control messages that outlive their purpose are ignored at the
+// receiver by the channel state machine (duplicates in state U, unknown
+// channels after teardown).
+func (n *Network) submitControl(l topology.LinkID, c wireControl) {
+	n.links[l].rccE.Submit(c)
+}
+
+// rccPayload and dataPayload type-tag scheduler payloads.
+type rccPayload []byte
+
+type dataPayload struct {
+	conn rtchan.ConnID
+	ch   rtchan.ChannelID
+	seq  uint64
+	sent sim.Time
+}

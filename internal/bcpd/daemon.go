@@ -1,0 +1,560 @@
+package bcpd
+
+import (
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/wire"
+)
+
+// wireControl aliases the control-message type for brevity.
+type wireControl = wire.Control
+
+// chanState is the per-node channel state of Figure 4.
+type chanState uint8
+
+const (
+	stateN chanState = iota // non-existent
+	stateP                  // healthy primary
+	stateB                  // healthy backup
+	stateU                  // unhealthy
+)
+
+func (s chanState) String() string {
+	switch s {
+	case stateN:
+		return "N"
+	case stateP:
+		return "P"
+	case stateB:
+		return "B"
+	default:
+		return "U"
+	}
+}
+
+// daemon is the BCP daemon at one node.
+type daemon struct {
+	net  *Network
+	id   topology.NodeID
+	dead bool
+
+	states       map[rtchan.ChannelID]chanState
+	rejoinTimers map[rtchan.ChannelID]*sim.Timer
+	// knownFailedBackups lets an end node skip backups it has received
+	// failure reports for when selecting a serial to activate.
+	knownFailedBackups map[rtchan.ChannelID]bool
+}
+
+func newDaemon(n *Network, id topology.NodeID) *daemon {
+	return &daemon{
+		net:                n,
+		id:                 id,
+		states:             make(map[rtchan.ChannelID]chanState),
+		rejoinTimers:       make(map[rtchan.ChannelID]*sim.Timer),
+		knownFailedBackups: make(map[rtchan.ChannelID]bool),
+	}
+}
+
+// State returns the daemon's state for a channel (stateN when unknown).
+func (d *daemon) State(ch rtchan.ChannelID) chanState { return d.states[ch] }
+
+func (d *daemon) setState(ch rtchan.ChannelID, s chanState) {
+	if s == stateN {
+		delete(d.states, ch)
+		return
+	}
+	d.states[ch] = s
+}
+
+func (d *daemon) channel(id rtchan.ChannelID) *rtchan.Channel {
+	if ch := d.net.mgr.Network().Channel(id); ch != nil {
+		return ch
+	}
+	return d.net.retired[id]
+}
+
+// handleControl dispatches a control message delivered by an RCC.
+func (d *daemon) handleControl(c wireControl) {
+	if d.dead {
+		return
+	}
+	switch c.Type {
+	case wire.MsgFailureReport:
+		d.handleFailureReport(c)
+	case wire.MsgActivation:
+		d.handleActivation(c)
+	case wire.MsgRejoinRequest:
+		d.handleRejoinRequest(c)
+	case wire.MsgRejoin:
+		d.handleRejoin(c)
+	case wire.MsgChannelClosure:
+		d.handleClosure(c)
+	case wire.MsgLinkFailure:
+		d.handleLinkFailureNotify(c)
+	}
+}
+
+// forwardAlong sends control c to the neighbor in c.Toward direction along
+// channel ch's path, over the corresponding RCC. Reports traveling into a
+// failed link are lost, exactly as in the paper — the failure itself (or the
+// other direction's report) covers the remaining segment.
+func (d *daemon) forwardAlong(ch *rtchan.Channel, c wireControl) {
+	idx := ch.Path.IndexOfNode(d.id)
+	if idx < 0 {
+		return
+	}
+	nodes := ch.Path.Nodes()
+	links := ch.Path.Links()
+	g := d.net.mgr.Graph()
+	var l topology.LinkID
+	switch {
+	case c.Toward > 0 && idx < len(nodes)-1:
+		// Control flow toward the destination uses the channel link when
+		// healthy; the RCC rides the same physical link.
+		l = links[idx]
+	case c.Toward < 0 && idx > 0:
+		// Toward the source: the reverse-direction link's RCC.
+		l = g.Reverse(links[idx-1])
+		if l == topology.NoLink {
+			return
+		}
+	default:
+		return // already at the end node
+	}
+	d.net.submitControl(l, c)
+}
+
+// --- Failure reporting (§4.1, §4.2) -----------------------------------
+
+// originateFailureReport is called on the neighbor node that detected a
+// component failure affecting channel ch (or on a node detecting a
+// multiplexing failure). It processes the report locally and propagates it.
+func (d *daemon) originateFailureReport(ch rtchan.ChannelID, toward int8) {
+	if d.dead {
+		return
+	}
+	d.net.stats.ReportsGenerated++
+	d.net.trace(d.id, "detects failure of channel %d, reporting toward %+d", ch, toward)
+	d.handleFailureReport(wireControl{
+		Type:    wire.MsgFailureReport,
+		Channel: int64(ch),
+		Origin:  int32(d.id),
+		Toward:  toward,
+	})
+}
+
+func (d *daemon) handleFailureReport(c wireControl) {
+	chID := rtchan.ChannelID(c.Channel)
+	ch := d.channel(chID)
+	if ch == nil {
+		return
+	}
+	switch d.states[chID] {
+	case stateU:
+		return // duplicates ignored in state U (Figure 4)
+	case stateN:
+		return
+	}
+	d.setState(chID, stateU)
+	d.armRejoinTimer(ch)
+
+	idx := ch.Path.IndexOfNode(d.id)
+	nodes := ch.Path.Nodes()
+	atSource := idx == 0
+	atDest := idx == len(nodes)-1
+	if (c.Toward < 0 && atSource) || (c.Toward > 0 && atDest) {
+		d.endNodeFailureAction(ch)
+		return
+	}
+	d.forwardAlong(ch, c)
+}
+
+// endNodeFailureAction runs at a channel end node that has just learned of
+// the channel's failure: record backup health, switch primaries, schedule
+// the rejoin probe.
+func (d *daemon) endNodeFailureAction(ch *rtchan.Channel) {
+	conn := d.net.mgr.Connection(ch.Conn)
+	if conn == nil {
+		return
+	}
+	if ch.Role == rtchan.RoleBackup {
+		d.knownFailedBackups[ch.ID] = true
+		// Abandon any claims the dead activation holds.
+		for _, l := range ch.Path.Links() {
+			d.net.mgr.ReleaseClaimFor(l, ch.ID)
+		}
+	}
+	isPrimary := conn.Primary != nil && conn.Primary.ID == ch.ID
+	// A failed backup matters when the primary is already down: the end
+	// node moves on to the next serial.
+	if isPrimary || d.primaryDown(conn) {
+		d.initiateSwitch(conn)
+	}
+	if ch.Path.Source() == d.id {
+		d.scheduleRejoinProbe(ch)
+	}
+}
+
+// primaryDown reports whether this end node believes the connection's
+// current primary is unhealthy.
+func (d *daemon) primaryDown(conn *core.DConnection) bool {
+	if conn.Primary == nil {
+		return true
+	}
+	return d.states[conn.Primary.ID] == stateU
+}
+
+// initiateSwitch selects the lowest-serial backup not known to have failed
+// and starts activation from this end, per the configured scheme.
+func (d *daemon) initiateSwitch(conn *core.DConnection) {
+	scheme := d.net.cfg.Scheme
+	atSource := d.id == conn.Src
+	atDest := d.id == conn.Dst
+	switch {
+	case atSource && scheme == Scheme1:
+		return // scheme 1 activates from the destination only
+	case atDest && scheme == Scheme2:
+		return // scheme 2 activates from the source only
+	case !atSource && !atDest:
+		return
+	}
+	// An activation already in progress from this end: wait for it to
+	// complete or to be reported failed before trying another serial.
+	for _, b := range conn.Backups {
+		if d.states[b.ID] == stateP && !d.knownFailedBackups[b.ID] {
+			return
+		}
+	}
+	for _, b := range conn.Backups {
+		if d.knownFailedBackups[b.ID] || d.states[b.ID] != stateB {
+			continue
+		}
+		if unit := d.net.cfg.PriorityDelayUnit; unit > 0 {
+			// Delayed activation (§4.3): lower-priority backups wait in
+			// proportion to their multiplexing degree so that critical
+			// connections claim spare bandwidth first.
+			b := b
+			wait := sim.Duration(d.net.mgr.DegreeOf(b.ID)) * unit
+			d.net.eng.Schedule(wait, func() {
+				if d.dead || d.states[b.ID] != stateB || d.knownFailedBackups[b.ID] {
+					d.initiateSwitch(conn) // this serial died while waiting
+					return
+				}
+				d.startActivation(conn, b, atSource)
+			})
+			return
+		}
+		d.startActivation(conn, b, atSource)
+		return
+	}
+	// No usable backup: the connection needs re-establishment from scratch
+	// (out of protocol scope; the rejoin timers will reclaim resources).
+}
+
+// startActivation activates backup b from this end node: local switch,
+// claim on the adjacent link, and an activation message down the path.
+func (d *daemon) startActivation(conn *core.DConnection, b *rtchan.Channel, fromSource bool) {
+	d.net.stats.ActivationsStarted++
+	d.net.trace(d.id, "activating backup %d of connection %d (fromSource=%v)", b.ID, conn.ID, fromSource)
+	d.setState(b.ID, stateP)
+	links := b.Path.Links()
+	var claimLink topology.LinkID
+	var toward int8
+	if fromSource {
+		claimLink = links[0]
+		toward = 1
+	} else {
+		claimLink = links[len(links)-1]
+		toward = -1
+	}
+	if !d.claimOrPreempt(b, claimLink) {
+		d.muxFailure(b)
+		return
+	}
+	if fromSource {
+		// Data transfer resumes immediately after sending the activation
+		// message (schemes 2 and 3).
+		d.net.noteSourceSwitch(conn.ID, b.ID)
+	}
+	d.forwardAlong(b, wireControl{
+		Type:    wire.MsgActivation,
+		Channel: int64(b.ID),
+		Origin:  int32(d.id),
+		Toward:  toward,
+	})
+}
+
+// handleActivation advances an activation message through an intermediate
+// node (or completes it at the far end).
+func (d *daemon) handleActivation(c wireControl) {
+	chID := rtchan.ChannelID(c.Channel)
+	b := d.channel(chID)
+	if b == nil {
+		return
+	}
+	switch d.states[chID] {
+	case stateU:
+		return // a newer failure owns this channel; its report is en route
+	case stateP:
+		// Already activated from the other end (Scheme 3 meeting point).
+		d.net.stats.ActivationsMet++
+		d.finalizeActivation(b)
+		return
+	case stateN:
+		return
+	case stateB:
+	}
+	d.setState(chID, stateP)
+	idx := b.Path.IndexOfNode(d.id)
+	nodes := b.Path.Nodes()
+	links := b.Path.Links()
+	if c.Toward > 0 {
+		if idx == len(nodes)-1 {
+			d.finalizeActivation(b)
+			if d.id == b.Path.Source() {
+				// Degenerate single-hop case.
+				d.net.noteSourceSwitch(b.Conn, b.ID)
+			}
+			return
+		}
+		if !d.claimOrPreempt(b, links[idx]) {
+			d.muxFailure(b)
+			return
+		}
+		d.forwardAlong(b, c)
+		return
+	}
+	// Traveling toward the source.
+	if idx == 0 {
+		// The source switches on receiving the activation (Scheme 1: this
+		// is when data transfer resumes).
+		d.finalizeActivation(b)
+		d.net.noteSourceSwitch(b.Conn, b.ID)
+		return
+	}
+	if !d.claimOrPreempt(b, links[idx-1]) {
+		d.muxFailure(b)
+		return
+	}
+	d.forwardAlong(b, c)
+}
+
+// finalizeActivation promotes the backup in the resource plane exactly once.
+func (d *daemon) finalizeActivation(b *rtchan.Channel) {
+	if d.net.activated[b.ID] {
+		return
+	}
+	conn := d.net.mgr.Connection(b.Conn)
+	if conn == nil {
+		return
+	}
+	d.net.trace(d.id, "activation of backup %d complete: promoting", b.ID)
+	if err := d.net.mgr.ActivateClaimed(b.Conn, b); err != nil {
+		// Spare raced away between claim and promotion; treat as a
+		// multiplexing failure.
+		d.muxFailure(b)
+		return
+	}
+	d.net.activated[b.ID] = true
+	d.net.scheduleReplenish(b.Conn)
+}
+
+// claimOrPreempt claims spare bandwidth on link l for backup b, preempting
+// a lower-priority claim if the configuration allows it (§4.3).
+func (d *daemon) claimOrPreempt(b *rtchan.Channel, l topology.LinkID) bool {
+	bw := b.Bandwidth()
+	if d.net.mgr.ClaimSpareFor(l, b.ID, bw) {
+		return true
+	}
+	if !d.net.cfg.AllowPreemption {
+		return false
+	}
+	alpha := d.net.mgr.DegreeOf(b.ID)
+	victim, ok := d.net.mgr.PreemptClaim(l, b.ID, alpha, bw)
+	if !ok {
+		return false
+	}
+	d.net.stats.Preemptions++
+	d.net.trace(d.id, "backup %d preempts lower-priority claim of %d on link %d", b.ID, victim, l)
+	// The preempted channel is handled as if disabled by a component
+	// failure: report from here toward both of its end nodes.
+	if vch := d.channel(victim); vch != nil {
+		d.reportBothWays(vch)
+	}
+	return true
+}
+
+// reportBothWays marks ch unhealthy at this node and sends failure reports
+// toward both end nodes (used for multiplexing failures and preemptions,
+// which a single node detects).
+func (d *daemon) reportBothWays(ch *rtchan.Channel) {
+	d.setState(ch.ID, stateU)
+	d.armRejoinTimer(ch)
+	idx := ch.Path.IndexOfNode(d.id)
+	if idx < 0 {
+		return
+	}
+	if idx > 0 {
+		d.forwardAlong(ch, wireControl{
+			Type: wire.MsgFailureReport, Channel: int64(ch.ID), Origin: int32(d.id), Toward: -1,
+		})
+	} else {
+		d.endNodeFailureAction(ch)
+	}
+	if idx < len(ch.Path.Nodes())-1 {
+		d.forwardAlong(ch, wireControl{
+			Type: wire.MsgFailureReport, Channel: int64(ch.ID), Origin: int32(d.id), Toward: 1,
+		})
+	} else {
+		d.endNodeFailureAction(ch)
+	}
+}
+
+// muxFailure handles exhaustion of spare bandwidth during activation:
+// the backup is unusable and the failure is reported to both end nodes so
+// they can try the next serial (§4.1).
+func (d *daemon) muxFailure(b *rtchan.Channel) {
+	d.net.stats.MuxFailures++
+	d.net.trace(d.id, "multiplexing failure for backup %d", b.ID)
+	for _, l := range b.Path.Links() {
+		d.net.mgr.ReleaseClaimFor(l, b.ID)
+	}
+	d.reportBothWays(b)
+}
+
+// --- Soft-state rejoin (§4.4, Figure 6) --------------------------------
+
+func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
+	if t := d.rejoinTimers[ch.ID]; t.Active() {
+		return
+	}
+	chID := ch.ID
+	connID := ch.Conn
+	d.rejoinTimers[chID] = d.net.eng.Schedule(d.net.cfg.RejoinTimeout, func() {
+		if d.dead || d.states[chID] != stateU {
+			return
+		}
+		d.net.stats.RejoinExpiries++
+		d.net.trace(d.id, "rejoin timer expired for channel %d: tearing down", chID)
+		d.setState(chID, stateN)
+		// First expiry reclaims the channel's resources network-wide; the
+		// call is idempotent across nodes.
+		_ = d.net.mgr.TeardownChannel(connID, chID)
+	})
+}
+
+// scheduleRejoinProbe sends a rejoin-request along the failed channel after
+// the probe delay, if the channel is still unhealthy.
+func (d *daemon) scheduleRejoinProbe(ch *rtchan.Channel) {
+	chID := ch.ID
+	d.net.eng.Schedule(d.net.cfg.RejoinProbeDelay, func() {
+		if d.dead || d.states[chID] != stateU {
+			return
+		}
+		c := d.channel(chID)
+		if c == nil {
+			return
+		}
+		d.net.stats.RejoinRequests++
+		d.forwardAlong(c, wireControl{
+			Type: wire.MsgRejoinRequest, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
+		})
+	})
+}
+
+func (d *daemon) handleRejoinRequest(c wireControl) {
+	chID := rtchan.ChannelID(c.Channel)
+	ch := d.channel(chID)
+	if ch == nil || d.states[chID] != stateU {
+		return // expired (N) or never here: the request dies
+	}
+	if d.id == ch.Path.Destination() {
+		// Channel path is whole again: confirm with a rejoin message.
+		d.net.stats.Rejoins++
+		d.net.trace(d.id, "channel %d repaired: sending rejoin", chID)
+		d.setState(chID, stateB)
+		d.stopRejoinTimer(chID)
+		d.forwardAlong(ch, wireControl{
+			Type: wire.MsgRejoin, Channel: int64(chID), Origin: int32(d.id), Toward: -1,
+		})
+		return
+	}
+	d.forwardAlong(ch, c)
+}
+
+func (d *daemon) handleRejoin(c wireControl) {
+	chID := rtchan.ChannelID(c.Channel)
+	ch := d.channel(chID)
+	if ch == nil {
+		return
+	}
+	switch d.states[chID] {
+	case stateU:
+		d.setState(chID, stateB)
+		d.stopRejoinTimer(chID)
+		if d.id == ch.Path.Source() {
+			d.completeRejoin(ch)
+			return
+		}
+		d.forwardAlong(ch, c)
+	case stateN:
+		// Timer already expired here: undo the repair along the rest of
+		// the path (Figure 6).
+		d.net.stats.Closures++
+		d.forwardAlong(ch, wireControl{
+			Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
+		})
+	default:
+	}
+}
+
+// completeRejoin re-registers the repaired channel as a backup in the
+// resource plane. If spare bandwidth can no longer accommodate it, the
+// repair is abandoned with a closure.
+func (d *daemon) completeRejoin(ch *rtchan.Channel) {
+	conn := d.net.mgr.Connection(ch.Conn)
+	if conn == nil {
+		d.abandonRejoin(ch)
+		return
+	}
+	alpha := 1
+	if len(conn.Degrees) > 0 {
+		alpha = conn.Degrees[len(conn.Degrees)-1]
+	}
+	if err := d.net.mgr.RestoreAsBackup(ch.Conn, ch.ID, alpha); err != nil {
+		d.abandonRejoin(ch)
+		return
+	}
+	d.knownFailedBackups[ch.ID] = false
+}
+
+func (d *daemon) abandonRejoin(ch *rtchan.Channel) {
+	d.net.stats.Closures++
+	d.setState(ch.ID, stateN)
+	d.forwardAlong(ch, wireControl{
+		Type: wire.MsgChannelClosure, Channel: int64(ch.ID), Origin: int32(d.id), Toward: 1,
+	})
+	_ = d.net.mgr.TeardownChannel(ch.Conn, ch.ID)
+}
+
+func (d *daemon) handleClosure(c wireControl) {
+	chID := rtchan.ChannelID(c.Channel)
+	ch := d.channel(chID)
+	d.stopRejoinTimer(chID)
+	if d.states[chID] == stateN {
+		return
+	}
+	d.setState(chID, stateN)
+	if ch != nil {
+		d.forwardAlong(ch, c)
+	}
+}
+
+func (d *daemon) stopRejoinTimer(chID rtchan.ChannelID) {
+	if t := d.rejoinTimers[chID]; t != nil {
+		t.Stop()
+		delete(d.rejoinTimers, chID)
+	}
+}

@@ -1,0 +1,124 @@
+package bcpd
+
+import (
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sched"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/wire"
+)
+
+// Heartbeat-based failure detection. The paper assumes "failed components
+// are detected by their neighbor nodes" and defers mechanisms to [HAN97a];
+// this file supplies one: every daemon emits a small heartbeat packet on
+// each outgoing link at a fixed interval, and the downstream neighbor
+// declares the link failed after HeartbeatMiss consecutive silent intervals.
+// The downstream detector then notifies the upstream node over the
+// reverse-direction link (still healthy under a simplex-link crash), so both
+// neighbors originate the failure reports their side of the channel-
+// switching scheme requires. A crashed node stops emitting on every
+// incident link, so its neighbors detect it the same way.
+//
+// Enable by setting Config.HeartbeatInterval > 0; FailLink/FailNode then
+// only crash the component, and detection happens organically.
+
+// heartbeatPayload marks a heartbeat packet on the wire.
+type heartbeatPayload struct {
+	link topology.LinkID
+}
+
+// heartbeatSize is the on-wire size of a heartbeat packet.
+const heartbeatSize = 32
+
+// startHeartbeats launches emission and monitoring loops for every link.
+func (n *Network) startHeartbeats() {
+	if n.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	for _, l := range n.mgr.Graph().Links() {
+		n.heartbeatLastSeen[l.ID] = n.eng.Now()
+		n.emitHeartbeat(l.ID)
+		n.monitorHeartbeats(l.ID)
+	}
+}
+
+// emitHeartbeat sends one heartbeat over link l and reschedules itself.
+// A dead daemon stops emitting — that is the detection signal.
+func (n *Network) emitHeartbeat(l topology.LinkID) {
+	lk := n.mgr.Graph().Link(l)
+	if !n.nodes[lk.From].dead {
+		n.links[l].sl.Enqueue(sched.Packet{
+			Class:   sched.ClassControl,
+			Size:    heartbeatSize,
+			Payload: heartbeatPayload{link: l},
+		})
+	}
+	n.eng.Schedule(n.cfg.HeartbeatInterval, func() { n.emitHeartbeat(l) })
+}
+
+// monitorHeartbeats checks link l's liveness at the receiving node and
+// reschedules itself.
+func (n *Network) monitorHeartbeats(l topology.LinkID) {
+	lk := n.mgr.Graph().Link(l)
+	miss := n.cfg.HeartbeatMiss
+	if miss <= 0 {
+		miss = 3
+	}
+	deadline := sim.Duration(miss+1) * n.cfg.HeartbeatInterval
+	check := func() {
+		to := n.nodes[lk.To]
+		if !to.dead && !n.declaredDown[l] && n.eng.Now().Sub(n.heartbeatLastSeen[l]) > deadline {
+			n.declareLinkFailure(l)
+		}
+		n.monitorHeartbeats(l)
+	}
+	n.eng.Schedule(n.cfg.HeartbeatInterval, check)
+}
+
+// declareLinkFailure runs at link l's downstream node when heartbeats stop:
+// it originates the downstream failure reports and notifies the upstream
+// neighbor over the reverse link.
+func (n *Network) declareLinkFailure(l topology.LinkID) {
+	n.declaredDown[l] = true
+	n.stats.Detections++
+	lk := n.mgr.Graph().Link(l)
+	n.trace(lk.To, "heartbeats lost on link %d (%d->%d): declaring failure", l, lk.From, lk.To)
+	scheme := n.cfg.Scheme
+	for _, chID := range n.mgr.Network().ChannelsOnLink(l) {
+		if scheme == Scheme1 || scheme == Scheme3 {
+			n.nodes[lk.To].originateFailureReport(chID, +1)
+		}
+	}
+	// Tell the upstream side; under a single simplex-link crash the reverse
+	// direction still works. (If it is down too — node failure — the
+	// reverse link's own monitor handles the other side.)
+	if rev := n.mgr.Graph().Reverse(l); rev != topology.NoLink {
+		n.submitControl(rev, wireControl{
+			Type:    wire.MsgLinkFailure,
+			Channel: int64(l),
+			Origin:  int32(lk.To),
+			Toward:  1,
+		})
+	}
+}
+
+// handleLinkFailureNotify runs at the upstream node of a failed link when
+// the downstream detector's notification arrives.
+func (d *daemon) handleLinkFailureNotify(c wireControl) {
+	l := topology.LinkID(c.Channel)
+	n := d.net
+	if l < 0 || int(l) >= len(n.links) {
+		return
+	}
+	lk := n.mgr.Graph().Link(l)
+	if lk.From != d.id {
+		return // misrouted
+	}
+	n.trace(d.id, "notified of failure of link %d (%d->%d)", l, lk.From, lk.To)
+	scheme := n.cfg.Scheme
+	for _, chID := range append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsOnLink(l)...) {
+		if scheme == Scheme2 || scheme == Scheme3 {
+			d.originateFailureReport(chID, -1)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package bcpd
+
+import (
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// FailLink crashes one simplex link: everything in flight is lost, and
+// after the detection latency the two incident nodes originate failure
+// reports for every channel routed over the link, per the configured scheme
+// (Figure 5).
+func (n *Network) FailLink(l topology.LinkID) {
+	lr := n.links[l]
+	if lr.down {
+		return
+	}
+	lr.down = true
+	lr.sl.SetDown(true)
+	if n.cfg.HeartbeatInterval > 0 {
+		return // detection happens via missing heartbeats
+	}
+	lk := n.mgr.Graph().Link(l)
+	affected := append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsOnLink(l)...)
+	n.eng.Schedule(n.cfg.DetectionLatency, func() {
+		for _, chID := range affected {
+			n.reportComponentFailure(chID, lk.From, lk.To)
+		}
+	})
+}
+
+// RepairLink brings a simplex link back into service. Channels through it
+// stay unusable until a rejoin repairs them.
+func (n *Network) RepairLink(l topology.LinkID) {
+	lr := n.links[l]
+	if !lr.down {
+		return
+	}
+	lr.down = false
+	lr.sl.SetDown(false)
+	if n.cfg.HeartbeatInterval > 0 {
+		n.heartbeatLastSeen[l] = n.eng.Now()
+		n.declaredDown[l] = false
+	}
+}
+
+// LinkDown reports whether link l is failed.
+func (n *Network) LinkDown(l topology.LinkID) bool { return n.links[l].down }
+
+// FailNode crashes a node: its daemon stops, all incident links go down,
+// and after the detection latency every neighbor on an affected channel's
+// path originates the appropriate failure reports.
+func (n *Network) FailNode(v topology.NodeID) {
+	d := n.nodes[v]
+	if d.dead {
+		return
+	}
+	d.dead = true
+	g := n.mgr.Graph()
+	for _, l := range g.Out(v) {
+		n.links[l].down = true
+		n.links[l].sl.SetDown(true)
+	}
+	for _, l := range g.In(v) {
+		n.links[l].down = true
+		n.links[l].sl.SetDown(true)
+	}
+	if n.cfg.HeartbeatInterval > 0 {
+		return // neighbors notice the silence on every incident link
+	}
+	affected := append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsAtNode(v)...)
+	n.eng.Schedule(n.cfg.DetectionLatency, func() {
+		for _, chID := range affected {
+			ch := n.mgr.Network().Channel(chID)
+			if ch == nil {
+				continue
+			}
+			idx := ch.Path.IndexOfNode(v)
+			if idx < 0 {
+				continue
+			}
+			nodes := ch.Path.Nodes()
+			var up, down topology.NodeID = topology.NoNode, topology.NoNode
+			if idx > 0 {
+				up = nodes[idx-1]
+			}
+			if idx < len(nodes)-1 {
+				down = nodes[idx+1]
+			}
+			n.originateReports(chID, up, down)
+		}
+	})
+}
+
+// RepairNode restores a crashed node and its incident links. The daemon
+// returns with empty channel state (a rebooted node holds no soft state).
+func (n *Network) RepairNode(v topology.NodeID) {
+	d := n.nodes[v]
+	if !d.dead {
+		return
+	}
+	n.nodes[v] = newDaemon(n, v)
+	g := n.mgr.Graph()
+	for _, l := range g.Out(v) {
+		n.RepairLink(l)
+	}
+	for _, l := range g.In(v) {
+		n.RepairLink(l)
+	}
+}
+
+// reportComponentFailure originates reports for a channel crossing a failed
+// link whose endpoints are from -> to.
+func (n *Network) reportComponentFailure(chID rtchan.ChannelID, from, to topology.NodeID) {
+	n.originateReports(chID, from, to)
+}
+
+// originateReports makes the upstream neighbor report toward the source and
+// the downstream neighbor toward the destination, according to the scheme:
+// Scheme 1 reports downstream only, Scheme 2 upstream only, Scheme 3 both.
+func (n *Network) originateReports(chID rtchan.ChannelID, up, down topology.NodeID) {
+	scheme := n.cfg.Scheme
+	if up != topology.NoNode && (scheme == Scheme2 || scheme == Scheme3) {
+		n.nodes[up].originateFailureReport(chID, -1)
+	}
+	if down != topology.NoNode && (scheme == Scheme1 || scheme == Scheme3) {
+		n.nodes[down].originateFailureReport(chID, +1)
+	}
+}

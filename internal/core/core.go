@@ -1,0 +1,178 @@
+// Package core implements the paper's primary contribution: the Backup
+// Channel Protocol (BCP) control plane.
+//
+// A dependable connection (D-connection) is a primary real-time channel plus
+// zero or more cold-standby backup channels, routed component-disjointly.
+// Spare bandwidth for backups is shared per link by *backup multiplexing*
+// (§3.2): two backups may share spare bandwidth when the probability
+// S(Bi,Bj) that they need simultaneous activation — bounded by the
+// probability of simultaneous failure of their primaries — is below the
+// per-connection multiplexing threshold ν.
+//
+// The Manager provides the transactional view used by the paper's
+// evaluation: connection establishment (§3.4), failure trials measuring the
+// fast-recovery ratio R_fast (§7.2-7.4), activation with spare-pool claims
+// and multiplexing failures, and resource reconfiguration (§4.4). The
+// message-level protocol machinery (failure reports, activation messages,
+// rejoin, RCC transport) lives in internal/core's protocol files and
+// internal/rcc.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// BackupRouting selects the algorithm used to route backup channels.
+type BackupRouting uint8
+
+const (
+	// RouteSequential is the paper's method: each backup takes a shortest
+	// feasible path avoiding all components of the connection's earlier
+	// channels.
+	RouteSequential BackupRouting = iota
+	// RouteMaxFlow uses unit-capacity max-flow to find component-disjoint
+	// paths, avoiding greedy traps ([WHA90, SID91]).
+	RouteMaxFlow
+	// RouteLoadAware implements the spare-resource-aware backup routing the
+	// authors develop in [HAN97b]: each link is weighted by the growth of
+	// its spare pool if the backup crossed it, so backups gravitate toward
+	// links where they multiplex well. Reduces total spare bandwidth at the
+	// cost of (bounded) longer backup paths.
+	RouteLoadAware
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Lambda is the per-component failure probability during one time unit
+	// (the paper's λ). It scales every multiplexing threshold.
+	Lambda float64
+
+	// TieBreak randomizes shortest-path tie-breaking when non-nil. The
+	// paper's tie-breaking is unspecified; randomized tie-breaking spreads
+	// load across a symmetric topology the way the reported numbers imply.
+	TieBreak *rand.Rand
+
+	// BackupRouting selects the backup path algorithm (default sequential).
+	BackupRouting BackupRouting
+
+	// BackupSlackHops bounds each backup path to the shortest feasible
+	// disjoint path length plus this slack. Negative means unbounded;
+	// 0 means shortest-disjoint only. The paper does not state a bound for
+	// backups; the default (DefaultBackupSlackHops) mirrors the primary's
+	// +2 rule.
+	BackupSlackHops int
+
+	// DelayModel parameterizes the analytic end-to-end delay admission test
+	// applied to primaries whose TrafficSpec carries a DelayBound. The zero
+	// value falls back to rtchan.DefaultDelayModel.
+	DelayModel rtchan.DelayModel
+
+	// DisablePiDegreeRestriction turns off the paper's §3.2 refinement that
+	// Π(Bi,ℓ) only counts backups with no greater multiplexing degree.
+	// With the refinement off, one small-ν backup forces the link's spare
+	// pool to cover every conflicting backup — the overestimation the paper
+	// warns about. Exposed for the ablation experiment.
+	DisablePiDegreeRestriction bool
+}
+
+// DefaultBackupSlackHops mirrors the primary channels' +2-hop QoS rule.
+const DefaultBackupSlackHops = 2
+
+// DefaultConfig returns the configuration used by the paper's evaluation:
+// λ=1e-4 and sequential shortest-path routing.
+func DefaultConfig() Config {
+	return Config{Lambda: 1e-4, BackupSlackHops: DefaultBackupSlackHops}
+}
+
+// DConnection is a dependable connection: a primary channel and its backups.
+type DConnection struct {
+	ID       rtchan.ConnID
+	Src, Dst topology.NodeID
+	Spec     rtchan.TrafficSpec
+
+	Primary *rtchan.Channel
+	Backups []*rtchan.Channel // in serial (activation) order
+	Degrees []int             // multiplexing degree α per backup (paper's "mux=α")
+}
+
+// Channels returns the primary followed by the backups.
+func (d *DConnection) Channels() []*rtchan.Channel {
+	out := make([]*rtchan.Channel, 0, 1+len(d.Backups))
+	if d.Primary != nil {
+		out = append(out, d.Primary)
+	}
+	return append(out, d.Backups...)
+}
+
+// Manager is the BCP control plane for one network.
+type Manager struct {
+	cfg      Config
+	net      *rtchan.Network
+	conns    map[rtchan.ConnID]*DConnection
+	order    []rtchan.ConnID // establishment order, for deterministic iteration
+	mux      []linkMux       // one per link
+	nextConn rtchan.ConnID
+}
+
+// NewManager creates a BCP manager over an empty reservation network for g.
+func NewManager(g *topology.Graph, cfg Config) *Manager {
+	if cfg.Lambda <= 0 || cfg.Lambda >= 1 {
+		panic(fmt.Sprintf("core: lambda %g out of (0,1)", cfg.Lambda))
+	}
+	m := &Manager{
+		cfg:      cfg,
+		net:      rtchan.NewNetwork(g),
+		conns:    make(map[rtchan.ConnID]*DConnection),
+		mux:      make([]linkMux, g.NumLinks()),
+		nextConn: 1,
+	}
+	for i := range m.mux {
+		m.mux[i].entries = make(map[rtchan.ChannelID]*muxEntry)
+	}
+	return m
+}
+
+// Network exposes the reservation substrate (read-mostly; experiments use
+// it for metrics).
+func (m *Manager) Network() *rtchan.Network { return m.net }
+
+// Graph returns the topology.
+func (m *Manager) Graph() *topology.Graph { return m.net.Graph() }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Connection returns the D-connection with the given id, or nil.
+func (m *Manager) Connection(id rtchan.ConnID) *DConnection { return m.conns[id] }
+
+// Connections returns all live D-connections in establishment order.
+func (m *Manager) Connections() []*DConnection {
+	out := make([]*DConnection, 0, len(m.conns))
+	for _, id := range m.order {
+		if c, ok := m.conns[id]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NumConnections returns the number of live D-connections.
+func (m *Manager) NumConnections() int { return len(m.conns) }
+
+// constraintForPrimary builds the admission-aware routing constraint for a
+// primary channel: every link must have bw free, and the path must respect
+// the QoS slack over the unconstrained shortest distance.
+func (m *Manager) constraintForPrimary(bw float64, maxHops int) routing.Constraint {
+	return routing.Constraint{
+		MaxHops:  maxHops,
+		TieBreak: m.cfg.TieBreak,
+		LinkAllowed: func(l topology.LinkID) bool {
+			return m.net.Free(l) >= bw-1e-9
+		},
+	}
+}

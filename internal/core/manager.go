@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Establish sets up a D-connection from src to dst with one backup per entry
+// of degrees (the paper's "mux=α" knob, one value per backup). It follows
+// the paper's establishment procedure (§3.4): the primary is routed on a
+// shortest feasible path meeting the +SlackHops QoS rule, then each backup
+// on a shortest feasible path avoiding all components of the connection's
+// earlier channels, with spare bandwidth reserved under backup multiplexing.
+//
+// Establishment is all-or-nothing: if any channel cannot be routed or
+// admitted, no state is left behind and the request is rejected, matching
+// the paper's client-negotiation model.
+func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, degrees []int) (*DConnection, error) {
+	if src == dst {
+		return nil, fmt.Errorf("core: src == dst (%d)", src)
+	}
+	if spec.Bandwidth <= 0 {
+		return nil, fmt.Errorf("core: non-positive bandwidth")
+	}
+	g := m.Graph()
+	base := routing.Distance(g, src, dst)
+	if base < 0 {
+		return nil, fmt.Errorf("core: %d and %d are disconnected", src, dst)
+	}
+	conn := &DConnection{
+		ID:   m.nextConn,
+		Src:  src,
+		Dst:  dst,
+		Spec: spec,
+	}
+
+	undo := func() {
+		for _, b := range conn.Backups {
+			m.removeBackup(b)
+			_ = m.net.Teardown(b.ID)
+		}
+		if conn.Primary != nil {
+			_ = m.net.Teardown(conn.Primary.ID)
+		}
+	}
+
+	// Route the primary.
+	primaryMax := base + spec.SlackHops
+	pPath, ok := m.routePrimary(src, dst, spec.Bandwidth, primaryMax)
+	if !ok {
+		return nil, fmt.Errorf("core: no feasible primary path %d->%d within %d hops", src, dst, primaryMax)
+	}
+	// Channels with an explicit delay contract also pass the analytic
+	// admission test: the candidate's own bound must hold, and admitting it
+	// must not break any established channel's contract.
+	if spec.DelayBound > 0 {
+		model := m.cfg.DelayModel
+		if model.ControlFrameSize == 0 {
+			model = rtchan.DefaultDelayModel()
+		}
+		if bound, ok := m.net.DelayAdmission(pPath, spec, model); !ok {
+			return nil, fmt.Errorf("core: delay admission failed for %d->%d: bound %v vs contract %v",
+				src, dst, bound, spec.DelayBound)
+		}
+	}
+	prim, err := m.net.Establish(conn.ID, rtchan.RolePrimary, 0, pPath, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: primary admission: %w", err)
+	}
+	conn.Primary = prim
+
+	// Route and admit the backups.
+	excl := routing.NewExclusion()
+	excl.AddPath(pPath)
+	for i, alpha := range degrees {
+		bPath, ok := m.routeBackup(src, dst, spec.Bandwidth, alpha, pPath, excl)
+		if !ok {
+			undo()
+			return nil, fmt.Errorf("core: no feasible disjoint path for backup %d of %d->%d", i+1, src, dst)
+		}
+		bch, err := m.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("core: backup %d admission: %w", i+1, err)
+		}
+		conn.Backups = append(conn.Backups, bch)
+		conn.Degrees = append(conn.Degrees, alpha)
+		if err := m.addBackup(conn, bch, alpha); err != nil {
+			undo()
+			return nil, fmt.Errorf("core: backup %d multiplexing: %w", i+1, err)
+		}
+		excl.AddPath(bPath)
+	}
+
+	m.conns[conn.ID] = conn
+	m.order = append(m.order, conn.ID)
+	m.nextConn++
+	return conn, nil
+}
+
+// routePrimary finds a shortest feasible path for a primary channel.
+func (m *Manager) routePrimary(src, dst topology.NodeID, bw float64, maxHops int) (topology.Path, bool) {
+	return routing.ShortestPath(m.Graph(), src, dst, m.constraintForPrimary(bw, maxHops))
+}
+
+// routeBackup finds a feasible path for a backup channel avoiding excl.
+// The admission prefilter requires bw free on every link (the paper's
+// forward-pass reservation without multiplexing); the exact spare-pool check
+// happens at addBackup time. alpha and primary feed the load-aware weight
+// when RouteLoadAware is configured.
+func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, primary topology.Path, excl *routing.Exclusion) (topology.Path, bool) {
+	g := m.Graph()
+	feasible := routing.Constraint{
+		TieBreak: m.cfg.TieBreak,
+		LinkAllowed: func(l topology.LinkID) bool {
+			return m.net.Free(l) >= bw-1e-9
+		},
+	}
+	c := excl.Constrain(feasible)
+	if m.cfg.BackupRouting == RouteMaxFlow {
+		paths := routing.MaxDisjointPaths(g, src, dst, 1, c)
+		if len(paths) == 0 {
+			return topology.Path{}, false
+		}
+		return paths[0], true
+	}
+	if m.cfg.BackupSlackHops >= 0 {
+		// QoS bound for the backup: after activation it carries the primary
+		// traffic, so its length is bounded relative to the shortest
+		// disjoint path regardless of current bandwidth availability.
+		unconstrained := excl.Constrain(routing.Constraint{})
+		if bp, ok := routing.ShortestPath(g, src, dst, unconstrained); ok {
+			c.MaxHops = bp.Hops() + m.cfg.BackupSlackHops
+		}
+	}
+	if m.cfg.BackupRouting == RouteLoadAware && !primary.IsZero() {
+		// [HAN97b]: weight each link by the spare-pool growth the backup
+		// would cause there, plus a small per-hop cost so ties (zero-growth
+		// corridors) still prefer short paths.
+		nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+		w := func(l topology.LinkID) float64 {
+			return 0.05*bw + m.prospectiveSpareIncrease(l, primary, bw, nu)
+		}
+		if p, ok := routing.MinCostPath(g, src, dst, c, w); ok {
+			return p, true
+		}
+		// Fall through to shortest-path if the weighted search fails.
+	}
+	return routing.ShortestPath(g, src, dst, c)
+}
+
+// EstablishOnPaths sets up a D-connection over explicitly chosen paths,
+// bypassing route selection but not admission: the primary must pass the
+// bandwidth test and every backup must fit the spare pools. Used by tests
+// and by callers with out-of-band routing (e.g. traffic-engineering layers).
+//
+// Channel disjointness is not enforced — the paper only *prefers* avoiding
+// the primary's components when routing backups (§3.2); overlap merely
+// degrades the connection's Pr. Callers wanting the guarantee should check
+// Path.ComponentDisjoint themselves.
+func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Path, backups []topology.Path, degrees []int) (*DConnection, error) {
+	if len(backups) != len(degrees) {
+		return nil, fmt.Errorf("core: %d backup paths but %d degrees", len(backups), len(degrees))
+	}
+	if primary.IsZero() {
+		return nil, fmt.Errorf("core: empty primary path")
+	}
+	conn := &DConnection{
+		ID:   m.nextConn,
+		Src:  primary.Source(),
+		Dst:  primary.Destination(),
+		Spec: spec,
+	}
+	undo := func() {
+		for _, b := range conn.Backups {
+			m.removeBackup(b)
+			_ = m.net.Teardown(b.ID)
+		}
+		if conn.Primary != nil {
+			_ = m.net.Teardown(conn.Primary.ID)
+		}
+	}
+	prim, err := m.net.Establish(conn.ID, rtchan.RolePrimary, 0, primary, spec)
+	if err != nil {
+		return nil, err
+	}
+	conn.Primary = prim
+	for i, bPath := range backups {
+		if bPath.Source() != conn.Src || bPath.Destination() != conn.Dst {
+			undo()
+			return nil, fmt.Errorf("core: backup %d endpoints mismatch", i+1)
+		}
+		bch, err := m.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		conn.Backups = append(conn.Backups, bch)
+		conn.Degrees = append(conn.Degrees, degrees[i])
+		if err := m.addBackup(conn, bch, degrees[i]); err != nil {
+			undo()
+			return nil, err
+		}
+	}
+	m.conns[conn.ID] = conn
+	m.order = append(m.order, conn.ID)
+	m.nextConn++
+	return conn, nil
+}
+
+// ReplenishBackups restores a connection's fault-tolerance level after
+// recovery consumed or destroyed backups (§4.4: "if necessary, new backup
+// channels will be established"): new backups are routed disjointly from
+// the connection's current channels and admitted at degree alpha until the
+// connection has target backups (or routing/admission fails). avoid, when
+// non-nil, excludes additional links — the protocol layer passes the
+// components it currently knows to be failed, which the resource plane does
+// not track itself. It returns the number of backups added.
+func (m *Manager) ReplenishBackups(id rtchan.ConnID, target, alpha int, avoid func(topology.LinkID) bool) (int, error) {
+	conn, ok := m.conns[id]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown connection %d", id)
+	}
+	if conn.Primary == nil {
+		return 0, fmt.Errorf("core: connection %d has no primary", id)
+	}
+	added := 0
+	for len(conn.Backups) < target {
+		excl := routing.NewExclusion()
+		excl.AddPath(conn.Primary.Path)
+		for _, b := range conn.Backups {
+			excl.AddPath(b.Path)
+		}
+		if avoid != nil {
+			for _, l := range m.Graph().Links() {
+				if avoid(l.ID) {
+					excl.AddLink(l.ID)
+				}
+			}
+		}
+		bPath, ok := m.routeBackup(conn.Src, conn.Dst, conn.Spec.Bandwidth, alpha, conn.Primary.Path, excl)
+		if !ok {
+			break
+		}
+		bch, err := m.net.Establish(id, rtchan.RoleBackup, len(conn.Backups)+1, bPath, conn.Spec)
+		if err != nil {
+			break
+		}
+		if err := m.addBackup(conn, bch, alpha); err != nil {
+			_ = m.net.Teardown(bch.ID)
+			break
+		}
+		conn.Backups = append(conn.Backups, bch)
+		conn.Degrees = append(conn.Degrees, alpha)
+		added++
+	}
+	return added, nil
+}
+
+// Teardown releases every channel of a D-connection (§4.4 channel-closure).
+func (m *Manager) Teardown(id rtchan.ConnID) error {
+	conn, ok := m.conns[id]
+	if !ok {
+		return fmt.Errorf("core: unknown connection %d", id)
+	}
+	for _, b := range conn.Backups {
+		m.removeBackup(b)
+		if err := m.net.Teardown(b.ID); err != nil {
+			return err
+		}
+	}
+	if conn.Primary != nil {
+		if err := m.net.Teardown(conn.Primary.ID); err != nil {
+			return err
+		}
+	}
+	delete(m.conns, id)
+	return nil
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+func TestEstablishRoutesDisjointChannels(t *testing.T) {
+	g := topology.NewTorus(8, 8, 200)
+	m := newTestManager(g)
+	conn, err := m.Establish(0, 36, rtchan.DefaultSpec(), []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Primary.Path.Hops() != 8 {
+		t.Fatalf("primary hops = %d, want 8", conn.Primary.Path.Hops())
+	}
+	all := conn.Channels()
+	if len(all) != 3 {
+		t.Fatalf("channels = %d", len(all))
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if !all[i].Path.ComponentDisjoint(all[j].Path) {
+				t.Fatalf("channels %d,%d are not component-disjoint", i, j)
+			}
+		}
+		if all[i].Path.Source() != 0 || all[i].Path.Destination() != 36 {
+			t.Fatal("wrong endpoints")
+		}
+	}
+	if err := m.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstablishRejectsBadArgs(t *testing.T) {
+	g := topology.NewTorus(4, 4, 200)
+	m := newTestManager(g)
+	if _, err := m.Establish(0, 0, rtchan.DefaultSpec(), nil); err == nil {
+		t.Fatal("src==dst accepted")
+	}
+	spec := rtchan.DefaultSpec()
+	spec.Bandwidth = 0
+	if _, err := m.Establish(0, 1, spec, nil); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestEstablishRejectsWhenNoDisjointBackup(t *testing.T) {
+	g := topology.NewLine(4, 10)
+	m := newTestManager(g)
+	if _, err := m.Establish(0, 3, rtchan.DefaultSpec(), []int{1}); err == nil {
+		t.Fatal("line topology cannot host a disjoint backup")
+	}
+	// No residue.
+	if m.NumConnections() != 0 {
+		t.Fatal("failed establish left a connection")
+	}
+	for _, l := range g.Links() {
+		if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+			t.Fatal("failed establish left reservations")
+		}
+	}
+}
+
+func TestEstablishHonorsQoSSlack(t *testing.T) {
+	// Saturate the direct path so the only feasible route exceeds base+slack.
+	g := topology.NewRing(8, 1) // capacity 1: a single channel fills a link
+	m := newTestManager(g)
+	spec := rtchan.TrafficSpec{Bandwidth: 1, SlackHops: 2}
+	if _, err := m.Establish(0, 1, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 0->1 direct is full; the alternative runs 7 hops counterclockwise,
+	// exceeding 1+2. Must reject.
+	if _, err := m.Establish(0, 1, spec, nil); err == nil {
+		t.Fatal("QoS-violating path accepted")
+	}
+	// With enough slack it is accepted.
+	spec.SlackHops = 6
+	if _, err := m.Establish(0, 1, spec, nil); err != nil {
+		t.Fatalf("slack 6 rejected: %v", err)
+	}
+}
+
+func TestEstablishZeroBackups(t *testing.T) {
+	g := topology.NewTorus(4, 4, 200)
+	m := newTestManager(g)
+	conn, err := m.Establish(0, 5, rtchan.DefaultSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn.Backups) != 0 {
+		t.Fatal("unexpected backups")
+	}
+	if m.net.SpareFraction() != 0 {
+		t.Fatal("spare reserved without backups")
+	}
+}
+
+func TestEstablishMaxFlowRouting(t *testing.T) {
+	g := topology.NewTorus(8, 8, 200)
+	cfg := DefaultConfig()
+	cfg.BackupRouting = RouteMaxFlow
+	m := NewManager(g, cfg)
+	conn, err := m.Establish(3, 40, rtchan.DefaultSpec(), []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := conn.Channels()
+	for i := range chans {
+		for j := i + 1; j < len(chans); j++ {
+			if !chans[i].Path.ComponentDisjoint(chans[j].Path) {
+				t.Fatal("max-flow backups not disjoint")
+			}
+		}
+	}
+}
+
+func TestTieBreakSpreadsLoad(t *testing.T) {
+	g := topology.NewTorus(8, 8, 200)
+	det := NewManager(g, DefaultConfig())
+	cfgR := DefaultConfig()
+	cfgR.TieBreak = rand.New(rand.NewSource(7))
+	rnd := NewManager(g, cfgR)
+	for _, m := range []*Manager{det, rnd} {
+		for i := 0; i < 32; i++ {
+			if _, err := m.Establish(0, 36, rtchan.DefaultSpec(), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	maxLoad := func(m *Manager) float64 {
+		var mx float64
+		for _, l := range g.Links() {
+			if d := m.net.Dedicated(l.ID); d > mx {
+				mx = d
+			}
+		}
+		return mx
+	}
+	if maxLoad(rnd) >= maxLoad(det) {
+		t.Fatalf("random tie-break did not spread load: det=%g rnd=%g", maxLoad(det), maxLoad(rnd))
+	}
+}
+
+func TestEstablishOnPathsValidation(t *testing.T) {
+	g, path := mesh3(t)
+	m := newTestManager(g)
+	if _, err := m.EstablishOnPaths(spec1(), topology.Path{}, nil, nil); err == nil {
+		t.Fatal("empty primary accepted")
+	}
+	if _, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
+		[]topology.Path{path(0, 3, 4, 5, 2)}, nil); err == nil {
+		t.Fatal("degree/backup count mismatch accepted")
+	}
+	if _, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
+		[]topology.Path{path(3, 4, 5)}, []int{1}); err == nil {
+		t.Fatal("endpoint-mismatched backup accepted")
+	}
+}
+
+func TestTeardownUnknown(t *testing.T) {
+	g, _ := mesh3(t)
+	m := newTestManager(g)
+	if err := m.Teardown(42); err == nil {
+		t.Fatal("unknown teardown accepted")
+	}
+}
+
+func TestConnectionsOrder(t *testing.T) {
+	g := topology.NewTorus(4, 4, 200)
+	m := newTestManager(g)
+	var ids []rtchan.ConnID
+	for i := 0; i < 5; i++ {
+		c, err := m.Establish(topology.NodeID(i), topology.NodeID(i+8), rtchan.DefaultSpec(), []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID)
+	}
+	m.Teardown(ids[2])
+	conns := m.Connections()
+	if len(conns) != 4 {
+		t.Fatalf("connections = %d", len(conns))
+	}
+	for i := 1; i < len(conns); i++ {
+		if conns[i].ID <= conns[i-1].ID {
+			t.Fatal("not in establishment order")
+		}
+	}
+}
+
+func TestFullTorusEstablishment(t *testing.T) {
+	// Establishing a connection between every node pair with one backup at
+	// mux=3 must succeed on the paper's torus (it does in the paper).
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topology.NewTorus(8, 8, 200)
+	cfg := DefaultConfig()
+	cfg.TieBreak = rand.New(rand.NewSource(1))
+	m := NewManager(g, cfg)
+	n := g.NumNodes()
+	count := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if _, err := m.Establish(topology.NodeID(s), topology.NodeID(d), rtchan.DefaultSpec(), []int{3}); err != nil {
+				t.Fatalf("pair %d->%d: %v", s, d, err)
+			}
+			count++
+		}
+	}
+	if count != 4032 {
+		t.Fatalf("connections = %d", count)
+	}
+	load := m.net.NetworkLoad()
+	if load < 0.30 || load > 0.40 {
+		t.Fatalf("network load = %.3f, paper reports 0.33-0.34", load)
+	}
+	spare := m.net.SpareFraction()
+	if spare < 0.10 || spare > 0.40 {
+		t.Fatalf("spare fraction = %.3f, out of plausible range", spare)
+	}
+	if err := m.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("torus mux=3: load=%.4f spare=%.4f", load, spare)
+}
+
+func TestRandomChurnKeepsInvariants(t *testing.T) {
+	g := topology.NewTorus(6, 6, 50)
+	cfg := DefaultConfig()
+	cfg.TieBreak = rand.New(rand.NewSource(3))
+	m := NewManager(g, cfg)
+	rng := rand.New(rand.NewSource(99))
+	var live []rtchan.ConnID
+	for step := 0; step < 300; step++ {
+		if rng.Intn(3) < 2 || len(live) == 0 {
+			s := topology.NodeID(rng.Intn(36))
+			d := topology.NodeID(rng.Intn(36))
+			if s == d {
+				continue
+			}
+			nb := rng.Intn(3)
+			degrees := make([]int, nb)
+			for i := range degrees {
+				degrees[i] = 1 + rng.Intn(6)
+			}
+			if c, err := m.Establish(s, d, rtchan.DefaultSpec(), degrees); err == nil {
+				live = append(live, c.ID)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			if err := m.Teardown(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%25 == 0 {
+			if err := m.CheckMuxInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if err := m.net.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// Drain and verify clean state.
+	for _, id := range live {
+		if err := m.Teardown(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range g.Links() {
+		if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+			t.Fatalf("link %d dirty after drain: dedicated=%g spare=%g",
+				l.ID, m.net.Dedicated(l.ID), m.net.Spare(l.ID))
+		}
+	}
+}
+
+func TestEstablishHonorsDelayContract(t *testing.T) {
+	g := topology.NewTorus(4, 4, 10) // slow links make bounds bite
+	m := newTestManager(g)
+	spec := rtchan.TrafficSpec{Bandwidth: 1, MaxMsgSize: 1250, MaxMsgRate: 100, SlackHops: 2}
+	// Per hop: (256+1250)*8/10e6 ≈ 1.2ms + 0.5ms prop ≈ 1.7ms; 2 hops ≈ 3.4ms.
+	spec.DelayBound = 4 * time.Millisecond
+	if _, err := m.Establish(0, 5, spec, nil); err != nil {
+		t.Fatalf("feasible contract rejected: %v", err)
+	}
+	spec.DelayBound = 2 * time.Millisecond
+	if _, err := m.Establish(1, 6, spec, nil); err == nil {
+		t.Fatal("infeasible contract accepted")
+	}
+	// Filling a corridor with contract-bearing channels eventually rejects
+	// newcomers whose blocking would break the incumbents.
+	spec.DelayBound = 5 * time.Millisecond
+	rejected := false
+	for i := 0; i < 8; i++ {
+		if _, err := m.Establish(0, 1, spec, nil); err != nil {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("admission never protected the incumbents' contracts")
+	}
+}
+
+func TestRouteBackupRespectsExclusion(t *testing.T) {
+	g := topology.NewTorus(4, 4, 200)
+	m := newTestManager(g)
+	excl := routing.NewExclusion()
+	p, ok := routing.ShortestPath(g, 0, 5, routing.Constraint{})
+	if !ok {
+		t.Fatal("no path")
+	}
+	excl.AddPath(p)
+	b, ok := m.routeBackup(0, 5, 1, 1, p, excl)
+	if !ok {
+		t.Fatal("no backup path")
+	}
+	if !b.ComponentDisjoint(p) {
+		t.Fatal("backup not component-disjoint from excluded path")
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// muxEntry is the per-link bookkeeping for one backup channel (§3.2).
+type muxEntry struct {
+	ch    *rtchan.Channel
+	conn  *DConnection
+	alpha int     // paper's integer multiplexing degree
+	nu    float64 // threshold ν = (α-0.5)·λ
+	// pi is Π(Bi,ℓ): the backups on this link that Bi must NOT share spare
+	// bandwidth with, restricted — per the paper's refinement — to backups
+	// whose multiplexing degree is no greater than Bi's.
+	pi map[rtchan.ChannelID]struct{}
+	// req is this backup's spare-bandwidth requirement on the link:
+	// bw(Bi) + Σ_{Bj ∈ Π} bw(Bj).
+	req float64
+}
+
+// linkMux is one link's multiplexing state. The link's spare reservation is
+// the maximum requirement over its entries; activation claims draw the pool
+// down temporarily until reconfiguration.
+type linkMux struct {
+	entries map[rtchan.ChannelID]*muxEntry
+	spare   float64 // committed spare reservation (mirrors rtchan account)
+	claimed float64 // drawn by activations since the last reconfiguration
+	// claims tracks protocol-mode activation claims by channel, so the
+	// bidirectional activations of Scheme 3 stay idempotent per link.
+	claims map[rtchan.ChannelID]float64
+}
+
+// requiredSpare recomputes the max requirement over entries.
+func (lm *linkMux) requiredSpare() float64 {
+	var max float64
+	for _, e := range lm.entries {
+		if e.req > max {
+			max = e.req
+		}
+	}
+	return max
+}
+
+// available returns the spare bandwidth an activation can still claim.
+func (lm *linkMux) available() float64 { return lm.spare - lm.claimed }
+
+// mutualExclusion decides the Π relationship for a pair of backups a and b
+// with primaries Ma and Mb (paper §3.2): they may share spare bandwidth iff
+// S(Ba,Bb) < ν, evaluated per side against that side's own ν, and each side
+// only *counts* peers with no greater degree. Backups of the same connection
+// never share spare: they are activated by the same primary failure.
+//
+// It reports (a counts b in Π(a), b counts a in Π(b)).
+func (m *Manager) mutualExclusion(a, b *muxEntry) (aCountsB, bCountsA bool) {
+	if a.conn.ID == b.conn.ID {
+		return true, true
+	}
+	pa, pb := a.conn.Primary, b.conn.Primary
+	if pa == nil || pb == nil {
+		// A connection that momentarily has no primary (its repaired
+		// channel is rejoining while recovery is still unresolved) gets
+		// conservative treatment: its backup shares spare with nothing.
+		return true, true
+	}
+	s := reliability.SimultaneousActivation(
+		m.cfg.Lambda,
+		pa.Path.NumComponents(),
+		pb.Path.NumComponents(),
+		pa.Path.SharedComponents(pb.Path),
+	)
+	if m.cfg.DisablePiDegreeRestriction {
+		return s >= a.nu, s >= b.nu
+	}
+	aCountsB = b.nu <= a.nu && s >= a.nu
+	bCountsA = a.nu <= b.nu && s >= b.nu
+	return aCountsB, bCountsA
+}
+
+// addBackupToLink registers backup ch on link l and resizes the link's spare
+// pool, enforcing the capacity invariant. On failure the link state is
+// unchanged.
+func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtchan.Channel, alpha int) error {
+	lm := &m.mux[l]
+	bw := ch.Bandwidth()
+	entry := &muxEntry{
+		ch:    ch,
+		conn:  conn,
+		alpha: alpha,
+		nu:    reliability.NuForDegree(m.cfg.Lambda, alpha),
+		pi:    make(map[rtchan.ChannelID]struct{}),
+		req:   bw,
+	}
+	// Tentatively wire the new entry into the Π structure.
+	type delta struct {
+		e *muxEntry
+	}
+	var grown []delta
+	for _, e := range lm.entries {
+		newInE, eInNew := m.mutualExclusion(e, entry)
+		if newInE {
+			e.pi[ch.ID] = struct{}{}
+			e.req += bw
+			grown = append(grown, delta{e})
+		}
+		if eInNew {
+			entry.pi[e.ch.ID] = struct{}{}
+			entry.req += e.ch.Bandwidth()
+		}
+	}
+	lm.entries[ch.ID] = entry
+	need := lm.requiredSpare()
+	if need > lm.spare {
+		if err := m.net.SetSpare(l, need); err != nil {
+			// Roll back.
+			delete(lm.entries, ch.ID)
+			for _, d := range grown {
+				delete(d.e.pi, ch.ID)
+				d.e.req -= bw
+			}
+			return fmt.Errorf("core: link %d cannot grow spare to %g: %w", l, need, err)
+		}
+		lm.spare = need
+	}
+	return nil
+}
+
+// removeBackupFromLink unregisters backup ch from link l, shrinking the
+// spare pool if possible. Shrinking cannot fail.
+func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
+	lm := &m.mux[l]
+	if _, ok := lm.entries[ch.ID]; !ok {
+		return
+	}
+	delete(lm.entries, ch.ID)
+	bw := ch.Bandwidth()
+	for _, e := range lm.entries {
+		if _, had := e.pi[ch.ID]; had {
+			delete(e.pi, ch.ID)
+			e.req -= bw
+		}
+	}
+	need := lm.requiredSpare()
+	if need < lm.spare {
+		// Never shrink below what activations have already claimed.
+		if need < lm.claimed {
+			need = lm.claimed
+		}
+		if err := m.net.SetSpare(l, need); err != nil {
+			panic("core: shrinking spare failed: " + err.Error())
+		}
+		lm.spare = need
+	}
+}
+
+// addBackup registers a backup on every link of its path, transactionally.
+func (m *Manager) addBackup(conn *DConnection, ch *rtchan.Channel, alpha int) error {
+	links := ch.Path.Links()
+	for i, l := range links {
+		if err := m.addBackupToLink(l, conn, ch, alpha); err != nil {
+			for _, u := range links[:i] {
+				m.removeBackupFromLink(u, ch)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// removeBackup unregisters a backup from all links of its path.
+func (m *Manager) removeBackup(ch *rtchan.Channel) {
+	for _, l := range ch.Path.Links() {
+		m.removeBackupFromLink(l, ch)
+	}
+}
+
+// PsiSizes returns |Ψ(B,ℓ)| for each link ℓ of backup ch's path: the number
+// of backups multiplexed with it (all backups on the link minus Π minus the
+// backup itself). Feeds the P_muxf bound of §3.3.
+func (m *Manager) PsiSizes(ch *rtchan.Channel) []int {
+	links := ch.Path.Links()
+	out := make([]int, len(links))
+	for i, l := range links {
+		lm := &m.mux[l]
+		e, ok := lm.entries[ch.ID]
+		if !ok {
+			continue
+		}
+		psi := len(lm.entries) - len(e.pi) - 1
+		if psi < 0 {
+			psi = 0
+		}
+		out[i] = psi
+	}
+	return out
+}
+
+// BackupsOnLink returns the number of backup channels registered on link l.
+func (m *Manager) BackupsOnLink(l topology.LinkID) int { return len(m.mux[l].entries) }
+
+// SpareOnLink returns the committed spare reservation on link l.
+func (m *Manager) SpareOnLink(l topology.LinkID) float64 { return m.mux[l].spare }
+
+// prospectiveSpareIncrease predicts how much link l's spare pool would grow
+// if a backup with the given bandwidth, threshold ν, and primary path were
+// admitted — the link weight of the [HAN97b]-style load-aware backup
+// routing (RouteLoadAware).
+func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, primary topology.Path, bw, nu float64) float64 {
+	lm := &m.mux[l]
+	newReq := bw
+	maxGrown := 0.0
+	for _, e := range lm.entries {
+		ep := e.conn.Primary
+		if ep == nil {
+			continue
+		}
+		s := reliability.SimultaneousActivation(
+			m.cfg.Lambda,
+			primary.NumComponents(),
+			ep.Path.NumComponents(),
+			primary.SharedComponents(ep.Path),
+		)
+		var newInE, eInNew bool
+		if m.cfg.DisablePiDegreeRestriction {
+			newInE, eInNew = s >= e.nu, s >= nu
+		} else {
+			newInE = nu <= e.nu && s >= e.nu
+			eInNew = e.nu <= nu && s >= nu
+		}
+		if eInNew {
+			newReq += e.ch.Bandwidth()
+		}
+		if newInE && e.req+bw > maxGrown {
+			maxGrown = e.req + bw
+		}
+	}
+	need := math.Max(newReq, maxGrown)
+	if need <= lm.spare {
+		return 0
+	}
+	return need - lm.spare
+}
+
+// recomputeLinkMux rebuilds the Π structure of one link from scratch —
+// used by reconfiguration after primaries change (an activated backup's new
+// primary path changes every S involving that connection).
+func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
+	lm := &m.mux[l]
+	for _, e := range lm.entries {
+		e.pi = make(map[rtchan.ChannelID]struct{}, len(lm.entries))
+		e.req = e.ch.Bandwidth()
+	}
+	// Deterministic pair iteration order is unnecessary: the result is
+	// order-independent (pure function of the entry set).
+	done := make(map[rtchan.ChannelID]struct{}, len(lm.entries))
+	for ida, a := range lm.entries {
+		for idb, b := range lm.entries {
+			if ida == idb {
+				continue
+			}
+			if _, seen := done[idb]; seen {
+				continue
+			}
+			aCountsB, bCountsA := m.mutualExclusion(a, b)
+			if aCountsB {
+				a.pi[idb] = struct{}{}
+				a.req += b.ch.Bandwidth()
+			}
+			if bCountsA {
+				b.pi[ida] = struct{}{}
+				b.req += a.ch.Bandwidth()
+			}
+		}
+		done[ida] = struct{}{}
+	}
+	need := math.Max(lm.requiredSpare(), lm.claimed)
+	if err := m.net.SetSpare(l, need); err != nil {
+		return err
+	}
+	lm.spare = need
+	return nil
+}
+
+// CheckMuxInvariants validates the engine's internal consistency; tests call
+// it after mutation sequences.
+func (m *Manager) CheckMuxInvariants() error {
+	for l := range m.mux {
+		lm := &m.mux[l]
+		if lm.spare+1e-9 < lm.requiredSpare() && lm.claimed == 0 {
+			return fmt.Errorf("core: link %d spare %g below requirement %g", l, lm.spare, lm.requiredSpare())
+		}
+		if got := m.net.Spare(topology.LinkID(l)); math.Abs(got-lm.spare) > 1e-6 {
+			return fmt.Errorf("core: link %d spare mirror drift: mux=%g rtchan=%g", l, lm.spare, got)
+		}
+		for id, e := range lm.entries {
+			if e.ch.ID != id {
+				return fmt.Errorf("core: link %d entry id mismatch", l)
+			}
+			want := e.ch.Bandwidth()
+			for peer := range e.pi {
+				pe, ok := lm.entries[peer]
+				if !ok {
+					return fmt.Errorf("core: link %d entry %d references absent peer %d", l, id, peer)
+				}
+				want += pe.ch.Bandwidth()
+				// The ν-ordering rule applies between connections that both
+				// have primaries; a primary-less connection (mid-recovery
+				// rejoin) is counted conservatively from both sides.
+				if !m.cfg.DisablePiDegreeRestriction && pe.nu > e.nu+1e-18 && pe.conn.ID != e.conn.ID &&
+					pe.conn.Primary != nil && e.conn.Primary != nil {
+					return fmt.Errorf("core: link %d entry %d counts peer %d with larger ν", l, id, peer)
+				}
+			}
+			if math.Abs(want-e.req) > 1e-6 {
+				return fmt.Errorf("core: link %d entry %d req drift: stored %g recomputed %g", l, id, e.req, want)
+			}
+		}
+	}
+	return nil
+}

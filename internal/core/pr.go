@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// ConnectionPr computes the fault-tolerance QoS parameter Pr of a live
+// D-connection under the paper's combinatorial model (§3.3): the probability
+// that within one time unit either the primary survives, or some backup
+// survives both component failures and multiplexing failures.
+func (m *Manager) ConnectionPr(conn *DConnection) float64 {
+	if conn.Primary == nil {
+		return 0
+	}
+	backups := make([]reliability.BackupInfo, 0, len(conn.Backups))
+	for i, b := range conn.Backups {
+		nu := reliability.NuForDegree(m.cfg.Lambda, degreeAt(conn, i))
+		pmux := reliability.MuxFailureBound(nu, m.PsiSizes(b))
+		backups = append(backups, reliability.BackupInfo{
+			Components: b.Path.NumComponents(),
+			PMuxFail:   pmux,
+		})
+	}
+	return reliability.Pr(m.cfg.Lambda, conn.Primary.Path.NumComponents(), backups)
+}
+
+func degreeAt(conn *DConnection, i int) int {
+	if i < len(conn.Degrees) {
+		return conn.Degrees[i]
+	}
+	return 1
+}
+
+// prospectivePsiSizes predicts |Ψ(B,ℓ)| for a *hypothetical* backup on
+// bPath protecting primary, if it were admitted with multiplexing degree
+// alpha — the information the paper's reservation message collects on its
+// forward pass "with various ν values" (§3.4).
+func (m *Manager) prospectivePsiSizes(primary, bPath topology.Path, alpha int) []int {
+	nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+	links := bPath.Links()
+	out := make([]int, len(links))
+	for i, l := range links {
+		lm := &m.mux[l]
+		psi := 0
+		for _, e := range lm.entries {
+			s := reliability.SimultaneousActivation(
+				m.cfg.Lambda,
+				primary.NumComponents(),
+				e.conn.Primary.Path.NumComponents(),
+				primary.SharedComponents(e.conn.Primary.Path),
+			)
+			inPi := e.nu <= nu && s >= nu
+			if !inPi {
+				psi++
+			}
+		}
+		out[i] = psi
+	}
+	return out
+}
+
+// prospectivePr predicts the Pr a connection would get from the given
+// primary and backup paths with a uniform multiplexing degree alpha.
+func (m *Manager) prospectivePr(primary topology.Path, backups []topology.Path, alpha int) float64 {
+	infos := make([]reliability.BackupInfo, 0, len(backups))
+	nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+	for _, b := range backups {
+		pmux := reliability.MuxFailureBound(nu, m.prospectivePsiSizes(primary, b, alpha))
+		infos = append(infos, reliability.BackupInfo{Components: b.NumComponents(), PMuxFail: pmux})
+	}
+	return reliability.Pr(m.cfg.Lambda, primary.NumComponents(), infos)
+}
+
+// EstablishWithPr implements the paper's second QoS-negotiation scheme
+// (§3.4): the client's Pr requirement is met "literally". Backups are added
+// incrementally, and for each backup count the *largest* multiplexing degree
+// (cheapest spare reservation) in [1, maxAlpha] that still meets requiredPr
+// is selected. The search mirrors the protocol's two-pass design: candidate
+// Ψ sizes are evaluated against the current network state before anything is
+// committed, and the chosen configuration is then established atomically.
+//
+// The request is rejected if requiredPr cannot be met with maxBackups
+// backups (the paper renegotiates; callers may retry with a lower Pr).
+func (m *Manager) EstablishWithPr(src, dst topology.NodeID, spec rtchan.TrafficSpec, requiredPr float64, maxBackups, maxAlpha int) (*DConnection, error) {
+	if requiredPr <= 0 || requiredPr > 1 {
+		return nil, fmt.Errorf("core: required Pr %g out of (0,1]", requiredPr)
+	}
+	if maxBackups < 0 || maxAlpha < 1 {
+		return nil, fmt.Errorf("core: invalid negotiation bounds")
+	}
+	// Zero backups may already satisfy a lax requirement.
+	probeConn, err := m.Establish(src, dst, spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	if m.ConnectionPr(probeConn) >= requiredPr {
+		return probeConn, nil
+	}
+	primary := probeConn.Primary.Path
+	if err := m.Teardown(probeConn.ID); err != nil {
+		return nil, err
+	}
+
+	// Pre-route candidate backup paths once (they do not depend on alpha).
+	var candidates []topology.Path
+	{
+		excl := routing.NewExclusion()
+		excl.AddPath(primary)
+		for i := 0; i < maxBackups; i++ {
+			bPath, ok := m.routeBackup(src, dst, spec.Bandwidth, maxAlpha, primary, excl)
+			if !ok {
+				break
+			}
+			candidates = append(candidates, bPath)
+			excl.AddPath(bPath)
+		}
+	}
+
+	for nb := 1; nb <= len(candidates); nb++ {
+		paths := candidates[:nb]
+		for alpha := maxAlpha; alpha >= 1; alpha-- {
+			if m.prospectivePr(primary, paths, alpha) < requiredPr {
+				continue // too much multiplexing; tighten
+			}
+			degrees := make([]int, nb)
+			for i := range degrees {
+				degrees[i] = alpha
+			}
+			conn, err := m.Establish(src, dst, spec, degrees)
+			if err != nil {
+				// Admission failed (e.g. spare pools full at this ν);
+				// a smaller alpha only demands more, so try more backups.
+				break
+			}
+			// Commit-time Pr can differ slightly from the prediction if
+			// establishment routed other-than-candidate paths; accept if
+			// still satisfying, otherwise undo and keep searching.
+			if m.ConnectionPr(conn) >= requiredPr {
+				return conn, nil
+			}
+			if err := m.Teardown(conn.ID); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: required Pr %g unattainable for %d->%d with <=%d backups",
+		requiredPr, src, dst, maxBackups)
+}

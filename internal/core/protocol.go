@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// The methods in this file expose the resource plane to the message-level
+// protocol engine (internal/bcpd): spare-bandwidth claims made as activation
+// messages cross links, promotion of a fully-claimed backup, and single
+// channel teardown driven by rejoin-timer expiry.
+//
+// Claims are keyed by channel so that the bidirectional activation of
+// Scheme 3 — where the source-side and destination-side activation messages
+// can both try to claim the same link — stays idempotent.
+
+// ClaimSpareFor claims bw of spare bandwidth on link l for backup channel
+// ch. It reports success; a repeated claim by the same channel is a no-op
+// success. Failure means a multiplexing failure on this link (§3.3).
+func (m *Manager) ClaimSpareFor(l topology.LinkID, ch rtchan.ChannelID, bw float64) bool {
+	lm := &m.mux[l]
+	if _, dup := lm.claims[ch]; dup {
+		return true
+	}
+	if lm.available() < bw-1e-9 {
+		return false
+	}
+	if lm.claims == nil {
+		lm.claims = make(map[rtchan.ChannelID]float64)
+	}
+	lm.claims[ch] = bw
+	lm.claimed += bw
+	return true
+}
+
+// DegreeOf returns the multiplexing degree of a backup channel, or a very
+// large value when unknown (primaries and foreign channels are never
+// preempted).
+func (m *Manager) DegreeOf(ch rtchan.ChannelID) int {
+	c := m.net.Channel(ch)
+	if c == nil {
+		return 1 << 30
+	}
+	conn := m.conns[c.Conn]
+	if conn == nil {
+		return 1 << 30
+	}
+	for i, b := range conn.Backups {
+		if b.ID == ch {
+			return degreeAt(conn, i)
+		}
+	}
+	return 1 << 30
+}
+
+// PreemptClaim implements the preemption flavor of priority-based
+// activation (§4.3): when link l has no spare left for backup ch (degree
+// alpha), a claim held by a strictly lower-priority backup (larger degree)
+// is revoked to make room. It returns the victim channel (to be handled as
+// if disabled by a component failure) and whether preemption succeeded.
+func (m *Manager) PreemptClaim(l topology.LinkID, ch rtchan.ChannelID, alpha int, bw float64) (rtchan.ChannelID, bool) {
+	lm := &m.mux[l]
+	var victim rtchan.ChannelID
+	victimDegree := alpha
+	for held, heldBW := range lm.claims {
+		if heldBW+lm.available() < bw-1e-9 {
+			continue // evicting this claim would not free enough
+		}
+		if d := m.DegreeOf(held); d > victimDegree {
+			victim = held
+			victimDegree = d
+		}
+	}
+	if victim == 0 {
+		return 0, false
+	}
+	m.ReleaseClaimFor(l, victim)
+	if !m.ClaimSpareFor(l, ch, bw) {
+		return 0, false // arithmetic raced; give up
+	}
+	return victim, true
+}
+
+// ReleaseClaimFor undoes a claim (e.g. when an activation is abandoned after
+// a downstream multiplexing failure).
+func (m *Manager) ReleaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
+	lm := &m.mux[l]
+	if bw, ok := lm.claims[ch]; ok {
+		delete(lm.claims, ch)
+		lm.claimed -= bw
+	}
+}
+
+// ClaimedOn reports whether channel ch holds a claim on link l.
+func (m *Manager) ClaimedOn(l topology.LinkID, ch rtchan.ChannelID) bool {
+	_, ok := m.mux[l].claims[ch]
+	return ok
+}
+
+// ActivateClaimed promotes backup b of conn to primary after the protocol
+// has claimed spare bandwidth on every link of its path, and re-sizes the
+// spare pools of the touched links (§4.4 reconfiguration). Links missing a
+// claim are claimed here (covering the race where both end-node activations
+// stop exactly at the meeting node).
+func (m *Manager) ActivateClaimed(connID rtchan.ConnID, b *rtchan.Channel) error {
+	conn := m.conns[connID]
+	if conn == nil {
+		return fmt.Errorf("core: unknown connection %d", connID)
+	}
+	bw := b.Bandwidth()
+	for _, l := range b.Path.Links() {
+		if !m.ClaimSpareFor(l, b.ID, bw) {
+			return fmt.Errorf("core: link %d has no claim and no spare for channel %d", l, b.ID)
+		}
+	}
+	touched := make(map[topology.LinkID]struct{})
+	for _, l := range b.Path.Links() {
+		lm := &m.mux[l]
+		delete(lm.claims, b.ID)
+		lm.claimed -= bw
+	}
+	if err := m.promoteBackup(conn, b, touched); err != nil {
+		return err
+	}
+	return m.reconfigureLinks(touched)
+}
+
+// TeardownChannel removes a single channel of a connection (rejoin-timer
+// expiry or channel-closure, §4.4) and re-sizes affected spare pools. If the
+// connection ends with no channels at all it is deleted.
+func (m *Manager) TeardownChannel(connID rtchan.ConnID, ch rtchan.ChannelID) error {
+	conn := m.conns[connID]
+	if conn == nil {
+		return fmt.Errorf("core: unknown connection %d", connID)
+	}
+	c := m.net.Channel(ch)
+	if c == nil {
+		return nil // already gone
+	}
+	// Abandon any outstanding claims.
+	for _, l := range c.Path.Links() {
+		m.ReleaseClaimFor(l, ch)
+	}
+	touched := make(map[topology.LinkID]struct{})
+	if err := m.dropChannel(conn, c, touched); err != nil {
+		return err
+	}
+	if conn.Primary == nil && len(conn.Backups) == 0 {
+		delete(m.conns, connID)
+	}
+	return m.reconfigureLinks(touched)
+}
+
+// RestoreAsBackup re-registers a repaired channel (rejoin, state U -> B,
+// Figure 6): the channel keeps its identity but re-enters the multiplexing
+// engine as a backup with the given degree. Fails if the spare pools can no
+// longer accommodate it.
+func (m *Manager) RestoreAsBackup(connID rtchan.ConnID, ch rtchan.ChannelID, alpha int) error {
+	conn := m.conns[connID]
+	if conn == nil {
+		return fmt.Errorf("core: unknown connection %d", connID)
+	}
+	c := m.net.Channel(ch)
+	if c == nil {
+		return fmt.Errorf("core: unknown channel %d", ch)
+	}
+	for _, b := range conn.Backups {
+		if b.ID == ch {
+			return nil // still registered
+		}
+	}
+	if c.Role == rtchan.RolePrimary {
+		// A repaired primary rejoins as a backup: release its dedicated
+		// bandwidth first. If it was still listed as the connection's
+		// primary (no backup was ever activated), the connection is left
+		// primary-less until an activation promotes the rejoined channel.
+		if err := m.net.Demote(ch, len(conn.Backups)+1); err != nil {
+			return err
+		}
+		if conn.Primary != nil && conn.Primary.ID == ch {
+			conn.Primary = nil
+		}
+	}
+	if err := m.addBackup(conn, c, alpha); err != nil {
+		return err
+	}
+	conn.Backups = append(conn.Backups, c)
+	conn.Degrees = append(conn.Degrees, alpha)
+	return nil
+}

@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Failure is a set of (near-)simultaneously failed components. A failed
+// node implicitly disables every channel whose path visits it; a failed
+// simplex link disables the channels routed over it (its reverse-direction
+// twin is a separate component, matching the paper's failure model).
+type Failure struct {
+	links map[topology.LinkID]struct{}
+	nodes map[topology.NodeID]struct{}
+}
+
+// NewFailure builds a failure from explicit component lists.
+func NewFailure(links []topology.LinkID, nodes []topology.NodeID) Failure {
+	f := Failure{
+		links: make(map[topology.LinkID]struct{}, len(links)),
+		nodes: make(map[topology.NodeID]struct{}, len(nodes)),
+	}
+	for _, l := range links {
+		f.links[l] = struct{}{}
+	}
+	for _, n := range nodes {
+		f.nodes[n] = struct{}{}
+	}
+	return f
+}
+
+// SingleLink is the paper's single-link failure model.
+func SingleLink(l topology.LinkID) Failure { return NewFailure([]topology.LinkID{l}, nil) }
+
+// SingleNode is the paper's single-node failure model.
+func SingleNode(n topology.NodeID) Failure { return NewFailure(nil, []topology.NodeID{n}) }
+
+// DoubleNode is the paper's double-node failure model.
+func DoubleNode(a, b topology.NodeID) Failure {
+	return NewFailure(nil, []topology.NodeID{a, b})
+}
+
+// LinkFailed reports whether link l failed.
+func (f Failure) LinkFailed(l topology.LinkID) bool {
+	_, bad := f.links[l]
+	return bad
+}
+
+// NodeFailed reports whether node n failed.
+func (f Failure) NodeFailed(n topology.NodeID) bool {
+	_, bad := f.nodes[n]
+	return bad
+}
+
+// Links returns the failed links.
+func (f Failure) Links() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(f.links))
+	for l := range f.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns the failed nodes.
+func (f Failure) Nodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(f.nodes))
+	for n := range f.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HitsPath reports whether any component of path p failed (links or any
+// visited node, including end nodes).
+func (f Failure) HitsPath(p topology.Path) bool {
+	if len(f.links) > 0 {
+		for _, l := range p.Links() {
+			if f.LinkFailed(l) {
+				return true
+			}
+		}
+	}
+	if len(f.nodes) > 0 {
+		for _, n := range p.Nodes() {
+			if f.NodeFailed(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ActivationOrder selects the order in which simultaneous backup activations
+// contend for spare bandwidth.
+type ActivationOrder uint8
+
+const (
+	// OrderByConn processes activations in connection-id (establishment)
+	// order — the default, deterministic.
+	OrderByConn ActivationOrder = iota
+	// OrderByPriority processes smaller multiplexing degrees (more critical
+	// connections) first: the paper's priority-based activation (§4.3).
+	OrderByPriority
+	// OrderRandom shuffles the activation order (models unsynchronized
+	// control-message arrivals).
+	OrderRandom
+)
+
+// DegreeStats is the per-multiplexing-degree breakdown used by Table 2.
+type DegreeStats struct {
+	FailedPrimaries int
+	FastRecovered   int
+}
+
+// RFast returns the fast-recovery ratio for the class.
+func (d DegreeStats) RFast() float64 {
+	if d.FailedPrimaries == 0 {
+		return 1
+	}
+	return float64(d.FastRecovered) / float64(d.FailedPrimaries)
+}
+
+// RecoveryStats summarizes one failure event.
+type RecoveryStats struct {
+	// ExcludedConns counts connections whose end nodes failed (outside the
+	// paper's statistics).
+	ExcludedConns int
+	// FailedPrimaries counts disabled primary channels of non-excluded
+	// connections — the denominator of R_fast.
+	FailedPrimaries int
+	// FastRecovered counts connections restored by backup activation — the
+	// numerator of R_fast.
+	FastRecovered int
+	// BackupDead counts connections that could not recover because every
+	// backup was itself disabled by the failure.
+	BackupDead int
+	// MuxFailed counts connections that had a healthy backup but lost the
+	// race for spare bandwidth (multiplexing failure).
+	MuxFailed int
+	// FailedBackups counts backup channels (of non-excluded connections)
+	// disabled by the failure, whether or not their primary failed.
+	FailedBackups int
+	// ByDegree breaks FailedPrimaries/FastRecovered down by the
+	// connection's first-backup multiplexing degree (Table 2).
+	ByDegree map[int]*DegreeStats
+}
+
+// RFast returns the paper's fast-recovery ratio.
+func (s RecoveryStats) RFast() float64 {
+	if s.FailedPrimaries == 0 {
+		return 1
+	}
+	return float64(s.FastRecovered) / float64(s.FailedPrimaries)
+}
+
+func (s *RecoveryStats) degree(alpha int) *DegreeStats {
+	if s.ByDegree == nil {
+		s.ByDegree = make(map[int]*DegreeStats)
+	}
+	d := s.ByDegree[alpha]
+	if d == nil {
+		d = &DegreeStats{}
+		s.ByDegree[alpha] = d
+	}
+	return d
+}
+
+// affectedConnections groups the channels hit by f by connection, using the
+// per-link/per-node indexes.
+func (m *Manager) affectedConnections(f Failure) map[rtchan.ConnID][]*rtchan.Channel {
+	seen := make(map[rtchan.ChannelID]struct{})
+	affected := make(map[rtchan.ConnID][]*rtchan.Channel)
+	add := func(id rtchan.ChannelID) {
+		if _, dup := seen[id]; dup {
+			return
+		}
+		seen[id] = struct{}{}
+		ch := m.net.Channel(id)
+		if ch != nil {
+			affected[ch.Conn] = append(affected[ch.Conn], ch)
+		}
+	}
+	for l := range f.links {
+		for _, id := range m.net.ChannelsOnLink(l) {
+			add(id)
+		}
+	}
+	for n := range f.nodes {
+		for _, id := range m.net.ChannelsAtNode(n) {
+			add(id)
+		}
+	}
+	return affected
+}
+
+// orderedConns sorts the connections needing activation according to order.
+func orderedConns(conns []*DConnection, order ActivationOrder, rng *rand.Rand) []*DConnection {
+	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	switch order {
+	case OrderByPriority:
+		sort.SliceStable(conns, func(i, j int) bool {
+			return firstDegree(conns[i]) < firstDegree(conns[j])
+		})
+	case OrderRandom:
+		if rng != nil {
+			rng.Shuffle(len(conns), func(i, j int) { conns[i], conns[j] = conns[j], conns[i] })
+		}
+	}
+	return conns
+}
+
+func firstDegree(c *DConnection) int {
+	if len(c.Degrees) == 0 {
+		return 1 << 30
+	}
+	return c.Degrees[0]
+}
+
+// Trial evaluates a failure event without mutating any state, returning the
+// R_fast statistics the paper's Tables 1-3 report. Activations contend for
+// each link's spare pool in the given order; a backup activates iff it is
+// itself unaffected by the failure and every link of its path has enough
+// unclaimed spare bandwidth.
+func (m *Manager) Trial(f Failure, order ActivationOrder, rng *rand.Rand) RecoveryStats {
+	var stats RecoveryStats
+	affected := m.affectedConnections(f)
+
+	var needsRecovery []*DConnection
+	for connID, channels := range affected {
+		conn := m.conns[connID]
+		if conn == nil {
+			continue
+		}
+		if f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst) {
+			stats.ExcludedConns++
+			continue
+		}
+		primaryHit := false
+		for _, ch := range channels {
+			if ch.Role == rtchan.RolePrimary {
+				primaryHit = true
+			} else {
+				stats.FailedBackups++
+			}
+		}
+		if primaryHit {
+			stats.FailedPrimaries++
+			stats.degree(firstDegree(conn)).FailedPrimaries++
+			needsRecovery = append(needsRecovery, conn)
+		}
+	}
+
+	needsRecovery = orderedConns(needsRecovery, order, rng)
+	claimed := make(map[topology.LinkID]float64)
+	for _, conn := range needsRecovery {
+		outcome := m.tryActivate(conn, f, claimed)
+		switch outcome {
+		case activated:
+			stats.FastRecovered++
+			stats.degree(firstDegree(conn)).FastRecovered++
+		case allBackupsDead:
+			stats.BackupDead++
+		case spareExhausted:
+			stats.MuxFailed++
+		}
+	}
+	return stats
+}
+
+type activationOutcome uint8
+
+const (
+	activated activationOutcome = iota
+	allBackupsDead
+	spareExhausted
+)
+
+// tryActivate walks the connection's backups in serial order, claiming
+// spare bandwidth from the shared per-link pools recorded in claimed.
+func (m *Manager) tryActivate(conn *DConnection, f Failure, claimed map[topology.LinkID]float64) activationOutcome {
+	bw := conn.Spec.Bandwidth
+	sawHealthy := false
+	for _, b := range conn.Backups {
+		if f.HitsPath(b.Path) {
+			continue
+		}
+		sawHealthy = true
+		links := b.Path.Links()
+		ok := true
+		for _, l := range links {
+			lm := &m.mux[l]
+			if lm.available()-claimed[l] < bw-1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, l := range links {
+				claimed[l] += bw
+			}
+			return activated
+		}
+		// Multiplexing failure on this backup; reported like a component
+		// failure, so the end nodes go on to try the next serial (§4.1).
+	}
+	if sawHealthy {
+		return spareExhausted
+	}
+	return allBackupsDead
+}
+
+// Apply executes a failure event against live state: winning backups claim
+// spare bandwidth and are promoted to primaries; failed channels are torn
+// down; spare pools are re-sized (§4.4 resource reconfiguration). It returns
+// the same statistics as Trial.
+//
+// Connections that lose every channel are torn down entirely (the paper
+// informs the client of the unrecoverable failure; re-establishment from
+// scratch is the client's retry).
+func (m *Manager) Apply(f Failure, order ActivationOrder, rng *rand.Rand) (RecoveryStats, error) {
+	var stats RecoveryStats
+	affected := m.affectedConnections(f)
+
+	type plan struct {
+		conn        *DConnection
+		failedChans []*rtchan.Channel
+		primaryHit  bool
+		excluded    bool
+	}
+	var plans []*plan
+	var needsRecovery []*DConnection
+	byConn := make(map[rtchan.ConnID]*plan)
+	for connID, channels := range affected {
+		conn := m.conns[connID]
+		if conn == nil {
+			continue
+		}
+		p := &plan{conn: conn, failedChans: channels}
+		byConn[connID] = p
+		plans = append(plans, p)
+		if f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst) {
+			p.excluded = true
+			stats.ExcludedConns++
+			continue
+		}
+		for _, ch := range channels {
+			if ch.Role == rtchan.RolePrimary {
+				p.primaryHit = true
+			} else {
+				stats.FailedBackups++
+			}
+		}
+		if p.primaryHit {
+			stats.FailedPrimaries++
+			stats.degree(firstDegree(conn)).FailedPrimaries++
+			needsRecovery = append(needsRecovery, conn)
+		}
+	}
+
+	// Phase 1: activation claims against the pre-failure spare sizing.
+	needsRecovery = orderedConns(needsRecovery, order, rng)
+	activatedBackups := make(map[rtchan.ConnID]*rtchan.Channel)
+	for _, conn := range needsRecovery {
+		b, outcome := m.claimActivation(conn, f)
+		switch outcome {
+		case activated:
+			stats.FastRecovered++
+			stats.degree(firstDegree(conn)).FastRecovered++
+			activatedBackups[conn.ID] = b
+		case allBackupsDead:
+			stats.BackupDead++
+		case spareExhausted:
+			stats.MuxFailed++
+		}
+	}
+
+	// Phase 2: reconfiguration — promote winners, tear down failed
+	// channels, resize spare pools. Plans were collected in map order;
+	// sort by connection so runs are reproducible.
+	sort.Slice(plans, func(i, j int) bool { return plans[i].conn.ID < plans[j].conn.ID })
+	touched := make(map[topology.LinkID]struct{})
+	for _, p := range plans {
+		conn := p.conn
+		winner := activatedBackups[conn.ID]
+		if winner != nil {
+			if err := m.promoteBackup(conn, winner, touched); err != nil {
+				return stats, err
+			}
+		}
+		// Tear down every failed channel of the connection.
+		for _, ch := range p.failedChans {
+			if err := m.dropChannel(conn, ch, touched); err != nil {
+				return stats, err
+			}
+		}
+		// A connection with no primary left (recovery failed or excluded)
+		// loses all its channels: release the survivors too.
+		if conn.Primary == nil {
+			for len(conn.Backups) > 0 {
+				if err := m.dropChannel(conn, conn.Backups[0], touched); err != nil {
+					return stats, err
+				}
+			}
+			delete(m.conns, conn.ID)
+		}
+	}
+
+	// Phase 3: spare pools on every touched link are recomputed from the
+	// surviving backup population.
+	if err := m.reconfigureLinks(touched); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// claimActivation is the mutating variant of tryActivate: claims are
+// recorded in the per-link mux state.
+func (m *Manager) claimActivation(conn *DConnection, f Failure) (*rtchan.Channel, activationOutcome) {
+	bw := conn.Spec.Bandwidth
+	sawHealthy := false
+	for _, b := range conn.Backups {
+		if f.HitsPath(b.Path) {
+			continue
+		}
+		sawHealthy = true
+		links := b.Path.Links()
+		ok := true
+		for _, l := range links {
+			if m.mux[l].available() < bw-1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, l := range links {
+				m.mux[l].claimed += bw
+			}
+			return b, activated
+		}
+	}
+	if sawHealthy {
+		return nil, spareExhausted
+	}
+	return nil, allBackupsDead
+}
+
+// promoteBackup converts a claimed backup into the connection's primary:
+// the claimed spare becomes dedicated bandwidth on each link of its path.
+func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched map[topology.LinkID]struct{}) error {
+	bw := b.Bandwidth()
+	for _, l := range b.Path.Links() {
+		lm := &m.mux[l]
+		// Drop the mux entry without resizing: the pool shrink happens
+		// explicitly, converting the claim into dedicated bandwidth.
+		if _, ok := lm.entries[b.ID]; ok {
+			delete(lm.entries, b.ID)
+			for _, other := range lm.entries {
+				if _, had := other.pi[b.ID]; had {
+					delete(other.pi, b.ID)
+					other.req -= bw
+				}
+			}
+		}
+		lm.claimed -= bw
+		lm.spare -= bw
+		if lm.spare < 0 {
+			lm.spare = 0
+		}
+		if err := m.net.SetSpare(l, lm.spare); err != nil {
+			return fmt.Errorf("core: promote shrink on link %d: %w", l, err)
+		}
+		touched[l] = struct{}{}
+	}
+	if err := m.net.Promote(b.ID); err != nil {
+		return err
+	}
+	// The connection's channel lists: the winner becomes the primary.
+	for i, x := range conn.Backups {
+		if x.ID == b.ID {
+			conn.Backups = append(conn.Backups[:i], conn.Backups[i+1:]...)
+			conn.Degrees = append(conn.Degrees[:i], conn.Degrees[i+1:]...)
+			break
+		}
+	}
+	conn.Primary = b
+	// The new primary path changes every S(·,·) involving this connection:
+	// all links hosting its remaining backups must re-derive their Π sets.
+	for _, rb := range conn.Backups {
+		for _, l := range rb.Path.Links() {
+			touched[l] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// dropChannel tears down one channel of a connection (failed component or
+// released survivor), updating mux state and the connection's lists.
+func (m *Manager) dropChannel(conn *DConnection, ch *rtchan.Channel, touched map[topology.LinkID]struct{}) error {
+	if m.net.Channel(ch.ID) == nil {
+		return nil // already dropped (e.g. promoted then listed again)
+	}
+	if ch.Role == rtchan.RoleBackup {
+		for _, l := range ch.Path.Links() {
+			m.removeBackupFromLink(l, ch)
+			touched[l] = struct{}{}
+		}
+		for i, x := range conn.Backups {
+			if x.ID == ch.ID {
+				conn.Backups = append(conn.Backups[:i], conn.Backups[i+1:]...)
+				conn.Degrees = append(conn.Degrees[:i], conn.Degrees[i+1:]...)
+				break
+			}
+		}
+	} else if conn.Primary != nil && conn.Primary.ID == ch.ID {
+		conn.Primary = nil
+	}
+	return m.net.Teardown(ch.ID)
+}
+
+// reconfigureLinks re-derives the Π structure and spare sizing of the given
+// links from the surviving backups. Promotion changes primaries, which
+// changes S values network-wide for the affected connections; the paper
+// recomputes spare needs after recovery (§4.4). If a link can no longer
+// afford its required spare, the requirement is capped at the available
+// headroom — the corresponding backups are degraded (they may suffer
+// multiplexing failures later), matching the paper's observation that
+// backups may have to be closed or moved.
+func (m *Manager) reconfigureLinks(touched map[topology.LinkID]struct{}) error {
+	for l := range touched {
+		if err := m.recomputeLinkMux(l); err != nil {
+			// Cap at headroom rather than failing recovery.
+			lm := &m.mux[l]
+			head := m.net.Capacity(l) - m.net.Dedicated(l)
+			if head < 0 {
+				head = 0
+			}
+			if err2 := m.net.SetSpare(l, head); err2 != nil {
+				return err2
+			}
+			lm.spare = head
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package experiment
+
+// Cross-plane validation: the transactional failure trials the paper's
+// tables are computed from (core.Manager.Trial) and the message-level
+// protocol engine (internal/bcpd) are two implementations of the same
+// recovery semantics. On the full paper workload they must agree on which
+// connections recover from a given failure. Connection ids are assigned in
+// establishment order, so identical workloads give identical ids in both
+// worlds.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+func TestProtocolMatchesTransactionalTrial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload")
+	}
+	opts := DefaultOptions()
+	for _, failLink := range []topology.LinkID{0, 37, 101, 200} {
+		// Transactional world: establish and predict.
+		gT := NewGraph(Torus8x8)
+		mT := core.NewManager(gT, opts.config())
+		EstablishAllPairs(mT, UniformDegrees(1, 3))
+		trial := mT.Trial(core.SingleLink(failLink), core.OrderByConn, nil)
+		var failedIDs []rtchan.ConnID
+		for _, conn := range mT.Connections() {
+			if conn.Primary != nil && conn.Primary.Path.ContainsLink(failLink) {
+				failedIDs = append(failedIDs, conn.ID)
+			}
+		}
+		if len(failedIDs) != trial.FailedPrimaries {
+			t.Fatalf("link %d: inconsistent trial accounting", failLink)
+		}
+
+		// Protocol world: identical establishment, failure by messages.
+		gP := NewGraph(Torus8x8)
+		mP := core.NewManager(gP, opts.config())
+		EstablishAllPairs(mP, UniformDegrees(1, 3))
+		eng := sim.New(1)
+		cfg := bcpd.DefaultConfig()
+		cfg.DetectionLatency = 0
+		cfg.RejoinTimeout = sim.Duration(time.Hour) // no teardown during the check
+		net := bcpd.New(eng, mP, cfg)
+		eng.At(sim.Time(10*time.Millisecond), func() { net.FailLink(failLink) })
+		eng.RunFor(2 * time.Second)
+
+		recovered := 0
+		for _, id := range failedIDs {
+			conn := mP.Connection(id)
+			if conn != nil && conn.Primary != nil && !conn.Primary.Path.ContainsLink(failLink) {
+				recovered++
+			}
+		}
+		if recovered != trial.FastRecovered {
+			t.Fatalf("link %d: recovered %d (protocol) vs %d (trial), %d failed primaries",
+				failLink, recovered, trial.FastRecovered, trial.FailedPrimaries)
+		}
+		if err := mP.CheckMuxInvariants(); err != nil {
+			t.Fatalf("link %d: %v", failLink, err)
+		}
+	}
+}

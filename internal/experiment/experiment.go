@@ -1,0 +1,212 @@
+// Package experiment reproduces the paper's evaluation (§7): every table and
+// figure has a driver here that builds the network, establishes the paper's
+// workload, runs the failure sweeps, and returns the same rows/series the
+// paper reports. See DESIGN.md §4 for the experiment index.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/metrics"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Kind names an evaluation network.
+type Kind string
+
+// The paper's two evaluation networks. Link capacities are chosen so both
+// networks have similar total capacity (paper §7).
+const (
+	Torus8x8 Kind = "torus-8x8" // 200 Mbps links
+	Mesh8x8  Kind = "mesh-8x8"  // 300 Mbps links
+)
+
+// NewGraph builds the evaluation network.
+func NewGraph(kind Kind) *topology.Graph {
+	switch kind {
+	case Torus8x8:
+		return topology.NewTorus(8, 8, 200)
+	case Mesh8x8:
+		return topology.NewMesh(8, 8, 300)
+	default:
+		panic(fmt.Sprintf("experiment: unknown network kind %q", kind))
+	}
+}
+
+// Options controls an experiment run.
+type Options struct {
+	// Lambda is the component failure probability per time unit.
+	Lambda float64
+	// Order is the activation contention order (default OrderByConn).
+	Order core.ActivationOrder
+	// Seed drives randomized activation ordering (OrderRandom).
+	Seed int64
+	// DoubleNodeSample limits the double-node sweep to this many sampled
+	// pairs (0 = exhaustive: all N·(N-1)/2 pairs).
+	DoubleNodeSample int
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{Lambda: 1e-4}
+}
+
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	if o.Lambda > 0 {
+		cfg.Lambda = o.Lambda
+	}
+	return cfg
+}
+
+// EstablishAllPairs establishes the paper's workload: one D-connection per
+// ordered node pair (64·63 = 4032 on the evaluation networks), in ascending
+// (src, dst) order, each requiring 1 Mbps and tolerating 2 extra hops.
+// degreesFor returns the backup degrees for the i-th connection (i counts
+// attempted establishments). It returns the number of connections
+// established and rejected.
+func EstablishAllPairs(m *core.Manager, degreesFor func(i int) []int) (established, rejected int) {
+	g := m.Graph()
+	n := g.NumNodes()
+	idx := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			_, err := m.Establish(topology.NodeID(s), topology.NodeID(d), rtchan.DefaultSpec(), degreesFor(idx))
+			if err != nil {
+				rejected++
+			} else {
+				established++
+			}
+			idx++
+		}
+	}
+	return established, rejected
+}
+
+// UniformDegrees returns a degreesFor function assigning the same backup
+// configuration to every connection.
+func UniformDegrees(backups, alpha int) func(int) []int {
+	degrees := make([]int, backups)
+	for i := range degrees {
+		degrees[i] = alpha
+	}
+	return func(int) []int { return degrees }
+}
+
+// CyclicDegrees reproduces Table 2's mixed workload: connection i gets
+// backups at degree alphas[i % len(alphas)], so each class holds an equal
+// quarter of the connections.
+func CyclicDegrees(backups int, alphas []int) func(int) []int {
+	return func(i int) []int {
+		alpha := alphas[i%len(alphas)]
+		degrees := make([]int, backups)
+		for j := range degrees {
+			degrees[j] = alpha
+		}
+		return degrees
+	}
+}
+
+// Trialer runs one failure trial; implemented by *core.Manager and the
+// brute-force baseline.
+type Trialer interface {
+	Trial(f core.Failure, order core.ActivationOrder, rng *rand.Rand) core.RecoveryStats
+}
+
+// SweepResult aggregates R_fast over a set of failure trials.
+type SweepResult struct {
+	Trials               int
+	RFast                float64
+	ByDegree             map[int]float64
+	MeanFailedPrimaries  float64
+	MeanFailedBackups    float64
+	MeanMuxFailed        float64
+	MeanBackupDead       float64
+	TotalFailedPrimaries int
+}
+
+// Sweep evaluates a trialer over every failure in the list, aggregating
+// R_fast as total-fast / total-failed across trials (the paper's ratio of
+// fast recoveries to failed primary channels).
+func Sweep(t Trialer, failures []core.Failure, opts Options) SweepResult {
+	var rng *rand.Rand
+	if opts.Order == core.OrderRandom {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	var r metrics.Ratio
+	byDeg := make(map[int]*metrics.Ratio)
+	var failedP, failedB, muxF, dead metrics.Mean
+	for _, f := range failures {
+		stats := t.Trial(f, opts.Order, rng)
+		r.Add(float64(stats.FastRecovered), float64(stats.FailedPrimaries))
+		failedP.Add(float64(stats.FailedPrimaries))
+		failedB.Add(float64(stats.FailedBackups))
+		muxF.Add(float64(stats.MuxFailed))
+		dead.Add(float64(stats.BackupDead))
+		for alpha, d := range stats.ByDegree {
+			rr := byDeg[alpha]
+			if rr == nil {
+				rr = &metrics.Ratio{}
+				byDeg[alpha] = rr
+			}
+			rr.Add(float64(d.FastRecovered), float64(d.FailedPrimaries))
+		}
+	}
+	out := SweepResult{
+		Trials:               len(failures),
+		RFast:                r.Value(),
+		ByDegree:             make(map[int]float64, len(byDeg)),
+		MeanFailedPrimaries:  failedP.Value(),
+		MeanFailedBackups:    failedB.Value(),
+		MeanMuxFailed:        muxF.Value(),
+		MeanBackupDead:       dead.Value(),
+		TotalFailedPrimaries: int(r.Den),
+	}
+	for alpha, rr := range byDeg {
+		out.ByDegree[alpha] = rr.Value()
+	}
+	return out
+}
+
+// AllSingleLinkFailures enumerates the paper's single-link failure model:
+// one trial per simplex link.
+func AllSingleLinkFailures(g *topology.Graph) []core.Failure {
+	out := make([]core.Failure, 0, g.NumLinks())
+	for _, l := range g.Links() {
+		out = append(out, core.SingleLink(l.ID))
+	}
+	return out
+}
+
+// AllSingleNodeFailures enumerates one trial per node.
+func AllSingleNodeFailures(g *topology.Graph) []core.Failure {
+	out := make([]core.Failure, 0, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		out = append(out, core.SingleNode(topology.NodeID(n)))
+	}
+	return out
+}
+
+// AllDoubleNodeFailures enumerates every unordered node pair, or a uniform
+// sample of them when sample > 0.
+func AllDoubleNodeFailures(g *topology.Graph, sample int, seed int64) []core.Failure {
+	n := g.NumNodes()
+	var out []core.Failure
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out = append(out, core.DoubleNode(topology.NodeID(a), topology.NodeID(b)))
+		}
+	}
+	if sample > 0 && sample < len(out) {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		out = out[:sample]
+	}
+	return out
+}

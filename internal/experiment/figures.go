@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/metrics"
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Figure9Result reproduces one panel of Figure 9: average spare-bandwidth
+// reservation (fraction of total capacity) as a function of network load,
+// one series per multiplexing degree.
+type Figure9Result struct {
+	Kind    Kind
+	Backups int
+	Series  []metrics.Series
+}
+
+// RunFigure9 establishes the all-pairs workload incrementally for each
+// degree in alphas, sampling (network load, spare fraction) every
+// sampleEvery connections. alpha = 0 is the "multiplexing disabled" curve.
+func RunFigure9(kind Kind, backups int, alphas []int, sampleEvery int, opts Options) Figure9Result {
+	if sampleEvery <= 0 {
+		sampleEvery = 100
+	}
+	res := Figure9Result{Kind: kind, Backups: backups}
+	for _, alpha := range alphas {
+		g := NewGraph(kind)
+		m := core.NewManager(g, opts.config())
+		s := metrics.Series{
+			Name:   fmt.Sprintf("mux=%d", alpha),
+			XLabel: "network-load",
+			YLabel: "spare-bandwidth",
+		}
+		degrees := UniformDegrees(backups, alpha)
+		n := g.NumNodes()
+		idx := 0
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				_, _ = m.Establish(topology.NodeID(src), topology.NodeID(dst), rtchan.DefaultSpec(), degrees(idx))
+				idx++
+				if idx%sampleEvery == 0 {
+					s.Append(m.Network().NetworkLoad(), m.Network().SpareFraction())
+				}
+			}
+		}
+		s.Append(m.Network().NetworkLoad(), m.Network().SpareFraction())
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Render prints the figure as aligned data columns.
+func (r Figure9Result) Render() string {
+	return metrics.RenderSeries(
+		fmt.Sprintf("Figure 9: average spare-bandwidth reservation — %d backup(s) in %s", r.Backups, r.Kind),
+		r.Series...)
+}
+
+// Render prints both reliability curves as aligned columns.
+func (r Figure3Result) Render() string {
+	return metrics.RenderSeries(
+		"Figure 3: D-connection reliability — Markov model vs combinatorial approximation",
+		r.Markov, r.Combinatorial)
+}
+
+// Figure3Result compares the Markov-model reliability R(t) of §3.1 with the
+// combinatorial Pr approximation the paper adopts, across a horizon sweep.
+type Figure3Result struct {
+	Markov        metrics.Series
+	Combinatorial metrics.Series
+}
+
+// RunFigure3 evaluates a single-backup D-connection with primary/backup
+// paths of the given hop counts, per-component failure rate lambda (per time
+// unit), and repair rate mu.
+func RunFigure3(primaryHops, backupHops int, lambda, mu float64, horizons []float64) Figure3Result {
+	cPrim := 2*primaryHops + 1
+	cBack := 2*backupHops + 1
+	model := reliability.DConnModel{
+		Lambda1: float64(cPrim) * lambda,
+		Lambda2: float64(cBack) * lambda,
+		Lambda3: 0,
+		Mu:      mu,
+	}
+	res := Figure3Result{
+		Markov:        metrics.Series{Name: "markov-R(t)", XLabel: "t", YLabel: "reliability"},
+		Combinatorial: metrics.Series{Name: "combinatorial", XLabel: "t", YLabel: "reliability"},
+	}
+	prUnit := reliability.PrSingleBackup(lambda, cPrim, cBack, 0)
+	for _, t := range horizons {
+		res.Markov.Append(t, model.Reliability(t))
+		// The combinatorial model resets each time unit: survival over t
+		// units is Pr^t.
+		res.Combinatorial.Append(t, math.Pow(prUnit, t))
+	}
+	return res
+}

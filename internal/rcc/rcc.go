@@ -1,0 +1,287 @@
+// Package rcc implements the real-time control channel of §5: a single-hop,
+// rate-limited, reliable transport for BCP control messages between
+// neighboring daemons.
+//
+// Each RCC is modeled by the paper's three parameters — maximum message size
+// S^RCC_max, maximum message rate R^RCC_max, and maximum per-message delay
+// D^RCC_max (the latter is a property of the underlying reserved channel;
+// this package enforces the first two and leaves delivery latency to the
+// link layer it sends through). Control messages are collected between
+// eligible times and batched into RCC frames; every frame carrying payload
+// is acknowledged hop-by-hop (cumulative ACK, piggybacked when possible) and
+// retransmitted on timeout; sequence numbers make duplicate delivery
+// detectable and suppressed.
+package rcc
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/wire"
+)
+
+// Params are the RCC model parameters.
+type Params struct {
+	// SMax is the maximum RCC frame size in bytes.
+	SMax int
+	// RMax is the maximum frame rate (frames/second): two frames are
+	// separated by at least 1/RMax.
+	RMax float64
+	// RetxTimeout is the retransmission timeout for unacknowledged frames.
+	RetxTimeout sim.Duration
+	// AckDelay is how long the receiver may wait for a piggyback
+	// opportunity before sending a pure-ACK frame.
+	AckDelay sim.Duration
+}
+
+// DefaultParams provisions an RCC that fits a handful of control messages
+// per frame at a 1 kHz frame rate.
+func DefaultParams() Params {
+	return Params{
+		SMax:        256,
+		RMax:        1000,
+		RetxTimeout: 20 * time.Millisecond,
+		AckDelay:    2 * time.Millisecond,
+	}
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	FramesSent      uint64
+	PureAcksSent    uint64
+	Retransmissions uint64
+	FramesReceived  uint64
+	Duplicates      uint64
+	OutOfOrder      uint64
+	ControlsSent    uint64
+	ControlsDeliv   uint64
+}
+
+// Endpoint is one direction of an RCC: the sender state at the upstream
+// daemon plus the receiver state for the reverse direction's ACKs.
+type Endpoint struct {
+	eng  *sim.Engine
+	p    Params
+	send func([]byte)       // hand a marshaled frame to the link layer
+	recv func(wire.Control) // upcall for each delivered control message
+
+	// Sender state.
+	outQ      []wire.Control
+	unacked   []sentFrame
+	nextSeq   uint32
+	lastTx    sim.Time
+	everTx    bool
+	retxDue   bool
+	txTimer   *sim.Timer
+	retxTimer *sim.Timer
+
+	// Receiver state.
+	recvCum    uint32
+	ackPending bool
+	ackTimer   *sim.Timer
+
+	stopped bool
+	stats   Stats
+}
+
+type sentFrame struct {
+	seq      uint32
+	controls []wire.Control
+}
+
+// NewEndpoint creates an RCC endpoint. send transmits a marshaled frame over
+// the underlying link; recv receives each control message exactly once, in
+// order.
+func NewEndpoint(eng *sim.Engine, p Params, send func([]byte), recv func(wire.Control)) *Endpoint {
+	if wire.MaxControlsForBudget(p.SMax) < 1 {
+		panic(fmt.Sprintf("rcc: SMax %d cannot fit a control message", p.SMax))
+	}
+	if p.RMax <= 0 {
+		panic("rcc: non-positive RMax")
+	}
+	if p.RetxTimeout <= 0 {
+		panic("rcc: non-positive retransmission timeout")
+	}
+	if send == nil || recv == nil {
+		panic("rcc: nil callbacks")
+	}
+	return &Endpoint{eng: eng, p: p, send: send, recv: recv, nextSeq: 1}
+}
+
+// Stats returns a snapshot of the endpoint counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Backlog returns the number of controls waiting to be framed plus those in
+// unacknowledged frames.
+func (e *Endpoint) Backlog() int {
+	n := len(e.outQ)
+	for _, f := range e.unacked {
+		n += len(f.controls)
+	}
+	return n
+}
+
+// Stop cancels all timers; the endpoint drops everything afterwards (used
+// when the underlying link fails permanently or the daemon shuts down).
+func (e *Endpoint) Stop() {
+	e.stopped = true
+	e.txTimer.Stop()
+	e.retxTimer.Stop()
+	e.ackTimer.Stop()
+}
+
+// Submit queues a control message for transmission.
+func (e *Endpoint) Submit(c wire.Control) {
+	if e.stopped {
+		return
+	}
+	e.outQ = append(e.outQ, c)
+	e.pump()
+}
+
+// interval is the minimum spacing between frames.
+func (e *Endpoint) interval() sim.Duration {
+	return sim.Duration(float64(time.Second) / e.p.RMax)
+}
+
+// pump schedules a frame transmission at the next eligible time if there is
+// anything to send (payload, retransmission, or pending ACK) and none is
+// scheduled yet. All transmissions flow through fire, so the R^RCC_max
+// eligibility rule is enforced in one place.
+func (e *Endpoint) pump() {
+	if e.stopped {
+		return
+	}
+	if len(e.outQ) == 0 && !e.ackPending && !(e.retxDue && len(e.unacked) > 0) {
+		return
+	}
+	if e.txTimer.Active() {
+		return
+	}
+	at := e.eng.Now()
+	if e.everTx {
+		if next := e.lastTx.Add(e.interval()); next > at {
+			at = next
+		}
+	}
+	e.txTimer = e.eng.At(at, e.fire)
+}
+
+// fire sends exactly one frame: a retransmission of the oldest
+// unacknowledged frame takes precedence over new payload, which takes
+// precedence over a pure ACK.
+func (e *Endpoint) fire() {
+	if e.stopped {
+		return
+	}
+	f := wire.Frame{Ack: e.recvCum}
+	switch {
+	case e.retxDue && len(e.unacked) > 0:
+		sf := e.unacked[0]
+		f.Seq, f.Controls = sf.seq, sf.controls
+		e.retxDue = false
+		e.stats.Retransmissions++
+	case len(e.outQ) > 0:
+		n := len(e.outQ)
+		if max := wire.MaxControlsForBudget(e.p.SMax); n > max {
+			n = max
+		}
+		f.Seq = e.nextSeq
+		e.nextSeq++
+		f.Controls = append([]wire.Control(nil), e.outQ[:n]...)
+		e.outQ = e.outQ[n:]
+		e.unacked = append(e.unacked, sentFrame{seq: f.Seq, controls: f.Controls})
+		e.stats.ControlsSent += uint64(len(f.Controls))
+	case e.ackPending:
+		e.stats.PureAcksSent++
+	default:
+		return
+	}
+	e.ackPending = false
+	e.ackTimer.Stop()
+	data, err := f.Marshal()
+	if err != nil {
+		panic("rcc: marshal: " + err.Error())
+	}
+	e.lastTx = e.eng.Now()
+	e.everTx = true
+	e.stats.FramesSent++
+	e.send(data)
+	if len(e.unacked) > 0 {
+		e.armRetx()
+	}
+	e.pump()
+}
+
+// armRetx (re)starts the retransmission timeout for the oldest
+// unacknowledged frame.
+func (e *Endpoint) armRetx() {
+	e.retxTimer.Stop()
+	e.retxTimer = e.eng.Schedule(e.p.RetxTimeout, func() {
+		if e.stopped || len(e.unacked) == 0 {
+			return
+		}
+		e.retxDue = true
+		e.pump()
+		e.armRetx()
+	})
+}
+
+// HandleFrame processes a frame received from the underlying link: it
+// applies the cumulative ACK to the sender state and delivers in-order
+// payload to the daemon, scheduling an acknowledgment.
+func (e *Endpoint) HandleFrame(data []byte) {
+	if e.stopped {
+		return
+	}
+	f, err := wire.Unmarshal(data)
+	if err != nil {
+		// A corrupted frame is dropped; retransmission recovers it.
+		return
+	}
+	e.stats.FramesReceived++
+	// ACK processing for our sender side.
+	for len(e.unacked) > 0 && e.unacked[0].seq <= f.Ack {
+		e.unacked = e.unacked[1:]
+	}
+	if len(e.unacked) == 0 {
+		e.retxTimer.Stop()
+	}
+	if f.Seq == 0 {
+		return // pure ACK
+	}
+	switch {
+	case f.Seq == e.recvCum+1:
+		e.recvCum++
+		for _, c := range f.Controls {
+			e.stats.ControlsDeliv++
+			e.recv(c)
+		}
+	case f.Seq <= e.recvCum:
+		e.stats.Duplicates++
+	default:
+		// Gap: a predecessor was lost; discard and let the peer retransmit.
+		e.stats.OutOfOrder++
+	}
+	e.scheduleAck()
+}
+
+// scheduleAck arranges for the current recvCum to reach the peer: either a
+// payload frame goes out soon and piggybacks it, or a pure-ACK fires after
+// AckDelay.
+func (e *Endpoint) scheduleAck() {
+	e.ackPending = true
+	if len(e.outQ) > 0 {
+		e.pump() // piggyback opportunity
+		return
+	}
+	if e.ackTimer.Active() {
+		return
+	}
+	e.ackTimer = e.eng.Schedule(e.p.AckDelay, func() {
+		if e.ackPending {
+			e.pump()
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Package reliability implements the paper's fault-tolerance mathematics:
+// the pairwise simultaneous-activation probability S(Bi,Bj) that drives
+// backup multiplexing (§3.2), the combinatorial per-connection reliability
+// Pr with its multiplexing-failure bound (§3.3), and the continuous-time
+// Markov models of Figure 3 solved by uniformization.
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// SimultaneousActivation returns S(Bi, Bj): the probability that backups Bi
+// and Bj must be activated simultaneously, bounded by the probability that
+// their primary channels Mi and Mj fail in the same time unit.
+//
+//	S = 1 - { (1-λ)^c(Mi) + (1-λ)^c(Mj) - (1-λ)^(c(Mi)+c(Mj)-sc(Mi,Mj)) }
+//
+// where ci, cj are the component counts of the two primary paths, sc the
+// number of components they share, and lambda the per-component failure
+// probability during one time unit.
+func SimultaneousActivation(lambda float64, ci, cj, sc int) float64 {
+	if lambda < 0 || lambda > 1 {
+		panic(fmt.Sprintf("reliability: lambda %g out of [0,1]", lambda))
+	}
+	if sc > ci || sc > cj || sc < 0 || ci < 0 || cj < 0 {
+		panic(fmt.Sprintf("reliability: inconsistent component counts ci=%d cj=%d sc=%d", ci, cj, sc))
+	}
+	q := 1 - lambda
+	s := 1 - (math.Pow(q, float64(ci)) + math.Pow(q, float64(cj)) - math.Pow(q, float64(ci+cj-sc)))
+	// Clamp tiny negative round-off.
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// NuForDegree converts the paper's integer multiplexing degree ("mux=α":
+// multiplex two backups iff their primaries share fewer than α components)
+// into a threshold ν on S. Since S ≈ sc·λ for small λ, thresholding S at
+// (α−0.5)·λ reproduces the integer rule without ambiguity at exactly α
+// shared components. mux=0 (multiplexing disabled) maps to ν = 0: no S is
+// below it, so nothing multiplexes.
+func NuForDegree(lambda float64, alpha int) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	return (float64(alpha) - 0.5) * lambda
+}
+
+// ChannelSurvival returns the probability that a channel whose path has c
+// components survives one time unit: (1-λ)^c.
+func ChannelSurvival(lambda float64, c int) float64 {
+	return math.Pow(1-lambda, float64(c))
+}
+
+// MuxFailureBound returns the paper's upper bound on P_muxf(Bi), the
+// probability that Bi is unavailable due to a multiplexing failure:
+//
+//	P_muxf(Bi) <= Σ_ℓ 1 - (1-ν)^{|Ψ(Bi,ℓ)|}
+//
+// psiSizes holds |Ψ(Bi,ℓ)| — the number of backups multiplexed with Bi — for
+// each link ℓ of Bi's path. The result is clamped to 1.
+func MuxFailureBound(nu float64, psiSizes []int) float64 {
+	var sum float64
+	for _, n := range psiSizes {
+		if n < 0 {
+			panic("reliability: negative Ψ size")
+		}
+		sum += 1 - math.Pow(1-nu, float64(n))
+	}
+	return math.Min(sum, 1)
+}
+
+// BackupInfo describes one backup channel for the Pr computation.
+type BackupInfo struct {
+	Components int     // c(Bi): component count of the backup's path
+	PMuxFail   float64 // P_muxf(Bi), e.g. from MuxFailureBound
+}
+
+// Pr returns the reliability of a D-connection under the paper's
+// combinatorial model: the probability that, within one time unit, either
+// the primary survives, or some backup both survives and avoids a
+// multiplexing failure. Backups are tried in order, matching serial-number
+// activation:
+//
+//	Pr = P(M ok) + P(M fails) · Σ_i P(B_i usable) · Π_{j<i} P(B_j unusable)
+//
+// where P(B usable) = (1-λ)^c(B) · (1 − P_muxf(B)).
+func Pr(lambda float64, primaryComponents int, backups []BackupInfo) float64 {
+	pmOK := ChannelSurvival(lambda, primaryComponents)
+	recover := 0.0
+	allPrevFail := 1.0
+	for _, b := range backups {
+		usable := ChannelSurvival(lambda, b.Components) * (1 - b.PMuxFail)
+		recover += allPrevFail * usable
+		allPrevFail *= 1 - usable
+	}
+	return pmOK + (1-pmOK)*recover
+}
+
+// PrSingleBackup is the paper's explicit single-backup formula:
+//
+//	Pr = P(M ok) + P(M fails)·P(B ok)·(1 − P_muxf(B)).
+func PrSingleBackup(lambda float64, primaryComponents, backupComponents int, pMuxFail float64) float64 {
+	return Pr(lambda, primaryComponents, []BackupInfo{{Components: backupComponents, PMuxFail: pMuxFail}})
+}

@@ -1,0 +1,178 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimultaneousActivationDisjoint(t *testing.T) {
+	// sc=0: S = P(Mi fails)·P(Mj fails) ≈ ci·cj·λ² — second order.
+	lambda := 1e-4
+	s := SimultaneousActivation(lambda, 7, 9, 0)
+	want := (1 - math.Pow(1-lambda, 7)) * (1 - math.Pow(1-lambda, 9))
+	if !almost(s, want, 1e-15) {
+		t.Fatalf("S = %g, want %g", s, want)
+	}
+	if s > 1e-6 {
+		t.Fatalf("disjoint S should be second-order small, got %g", s)
+	}
+}
+
+func TestSimultaneousActivationLinearInShared(t *testing.T) {
+	// For small λ, S ≈ sc·λ.
+	lambda := 1e-4
+	for sc := 1; sc <= 5; sc++ {
+		s := SimultaneousActivation(lambda, 9, 9, sc)
+		if !almost(s, float64(sc)*lambda, float64(sc)*lambda*0.01) {
+			t.Fatalf("sc=%d: S=%g, want ≈ %g", sc, s, float64(sc)*lambda)
+		}
+	}
+}
+
+func TestSimultaneousActivationFullOverlap(t *testing.T) {
+	// sc = ci = cj: S = P(Mi fails) = 1-(1-λ)^ci.
+	lambda := 0.01
+	s := SimultaneousActivation(lambda, 5, 5, 5)
+	want := 1 - math.Pow(1-lambda, 5)
+	if !almost(s, want, 1e-12) {
+		t.Fatalf("S = %g, want %g", s, want)
+	}
+}
+
+func TestSimultaneousActivationProperties(t *testing.T) {
+	// Property: S ∈ [0,1], symmetric in (ci,cj), monotone in sc.
+	f := func(l uint16, a, b, c uint8) bool {
+		lambda := float64(l) / (1 << 17) // [0, 0.5)
+		ci := int(a%20) + 1
+		cj := int(b%20) + 1
+		sc := int(c) % (min(ci, cj) + 1)
+		s := SimultaneousActivation(lambda, ci, cj, sc)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if !almost(s, SimultaneousActivation(lambda, cj, ci, sc), 1e-12) {
+			return false
+		}
+		if sc > 0 && s+1e-12 < SimultaneousActivation(lambda, ci, cj, sc-1) {
+			return false // more sharing must not reduce S
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimultaneousActivationPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SimultaneousActivation(-0.1, 1, 1, 0) },
+		func() { SimultaneousActivation(0.1, 1, 1, 2) },
+		func() { SimultaneousActivation(0.1, -1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNuForDegree(t *testing.T) {
+	lambda := 1e-4
+	// mux=α must separate sc<α (multiplexed, S<ν) from sc>=α (not).
+	for alpha := 1; alpha <= 8; alpha++ {
+		nu := NuForDegree(lambda, alpha)
+		for sc := 0; sc <= 10; sc++ {
+			s := SimultaneousActivation(lambda, 11, 11, sc)
+			multiplexed := s < nu
+			if (sc < alpha) != multiplexed {
+				t.Fatalf("alpha=%d sc=%d: S=%g nu=%g muxed=%v", alpha, sc, s, nu, multiplexed)
+			}
+		}
+	}
+	if NuForDegree(lambda, 0) != 0 {
+		t.Fatal("mux=0 must disable multiplexing")
+	}
+}
+
+func TestMuxFailureBound(t *testing.T) {
+	if got := MuxFailureBound(0.5, nil); got != 0 {
+		t.Fatalf("empty bound = %g", got)
+	}
+	// One link, one multiplexed peer: bound = ν.
+	if got := MuxFailureBound(0.001, []int{1}); !almost(got, 0.001, 1e-12) {
+		t.Fatalf("bound = %g, want 0.001", got)
+	}
+	// Clamped at 1.
+	if got := MuxFailureBound(0.9, []int{10, 10, 10}); got != 1 {
+		t.Fatalf("bound = %g, want 1", got)
+	}
+	// Additivity across links at first order.
+	got := MuxFailureBound(1e-4, []int{2, 3})
+	want := (1 - math.Pow(1-1e-4, 2)) + (1 - math.Pow(1-1e-4, 3))
+	if !almost(got, want, 1e-12) {
+		t.Fatalf("bound = %g, want %g", got, want)
+	}
+}
+
+func TestPrNoBackups(t *testing.T) {
+	lambda := 0.01
+	if got := Pr(lambda, 7, nil); !almost(got, ChannelSurvival(lambda, 7), 1e-12) {
+		t.Fatalf("Pr no backups = %g", got)
+	}
+}
+
+func TestPrSingleBackupFormula(t *testing.T) {
+	lambda := 0.001
+	pM := ChannelSurvival(lambda, 7)
+	pB := ChannelSurvival(lambda, 9)
+	pmux := 0.002
+	want := pM + (1-pM)*pB*(1-pmux)
+	if got := PrSingleBackup(lambda, 7, 9, pmux); !almost(got, want, 1e-12) {
+		t.Fatalf("Pr = %g, want %g", got, want)
+	}
+}
+
+func TestPrMoreBackupsHigher(t *testing.T) {
+	lambda := 0.01
+	b := BackupInfo{Components: 9, PMuxFail: 0.01}
+	p1 := Pr(lambda, 7, []BackupInfo{b})
+	p2 := Pr(lambda, 7, []BackupInfo{b, b})
+	p3 := Pr(lambda, 7, []BackupInfo{b, b, b})
+	if !(p1 < p2 && p2 < p3 && p3 < 1) {
+		t.Fatalf("Pr not increasing with backups: %g %g %g", p1, p2, p3)
+	}
+}
+
+func TestPrProperties(t *testing.T) {
+	// Pr ∈ [P(M ok), 1]; decreasing in PMuxFail.
+	f := func(l uint16, cp, cb uint8, mf uint16) bool {
+		lambda := float64(l) / (1 << 18)
+		pmux := float64(mf) / (1 << 16)
+		cPrim := int(cp%15) + 1
+		cBack := int(cb%15) + 1
+		pr := Pr(lambda, cPrim, []BackupInfo{{Components: cBack, PMuxFail: pmux}})
+		low := ChannelSurvival(lambda, cPrim)
+		if pr < low-1e-12 || pr > 1+1e-12 {
+			return false
+		}
+		prWorse := Pr(lambda, cPrim, []BackupInfo{{Components: cBack, PMuxFail: math.Min(1, pmux+0.1)}})
+		return prWorse <= pr+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+// Package routing provides the path-selection algorithms used to establish
+// primary and backup channels: constrained breadth-first shortest paths,
+// weighted shortest paths, and disjoint path search.
+//
+// The paper routes channels with a "sequential shortest-path search": the
+// primary is routed on a shortest feasible path, then each backup on a
+// shortest feasible path that avoids all components of the connection's
+// earlier channels. Feasibility (admission) is expressed here as caller
+// supplied predicates over links and nodes, so the same search serves both
+// the unconstrained distance computation and the bandwidth-constrained one.
+package routing
+
+import (
+	"math/rand"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Constraint restricts a path search.
+//
+// LinkAllowed and NodeAllowed may be nil, meaning unrestricted. NodeAllowed
+// is consulted for interior nodes only: the search always allows the source
+// and destination themselves (the channels of one D-connection necessarily
+// share their end nodes).
+//
+// MaxHops of 0 means unbounded.
+type Constraint struct {
+	MaxHops     int
+	LinkAllowed func(topology.LinkID) bool
+	NodeAllowed func(topology.NodeID) bool
+
+	// TieBreak, if non-nil, randomizes the choice among equally short
+	// predecessors during path reconstruction. A nil TieBreak selects the
+	// lowest link id, which is deterministic but concentrates traffic on a
+	// torus; experiments pass a seeded RNG to spread load like the paper's
+	// (unspecified) tie-breaking evidently does.
+	TieBreak *rand.Rand
+}
+
+func (c Constraint) linkOK(l topology.LinkID) bool {
+	return c.LinkAllowed == nil || c.LinkAllowed(l)
+}
+
+func (c Constraint) nodeOK(n topology.NodeID) bool {
+	return c.NodeAllowed == nil || c.NodeAllowed(n)
+}
+
+// Distance returns the unconstrained hop distance from src to dst, or -1 if
+// unreachable. Used to evaluate the paper's QoS rule: a channel meets its
+// end-to-end delay requirement iff its path is at most 2 hops longer than
+// the shortest possible path.
+func Distance(g *topology.Graph, src, dst topology.NodeID) int {
+	d := bfs(g, src, Constraint{}, dst)
+	return d
+}
+
+// bfs runs a breadth-first search from src under c, returning the distance
+// to target (-1 if unreachable). If target is topology.NoNode the search
+// covers the whole reachable set and returns 0.
+func bfs(g *topology.Graph, src topology.NodeID, c Constraint, target topology.NodeID) int {
+	dist := distSlice(g)
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == target {
+			return dist[n]
+		}
+		if c.MaxHops > 0 && dist[n] >= c.MaxHops {
+			continue
+		}
+		for _, l := range g.Out(n) {
+			if !c.linkOK(l) {
+				continue
+			}
+			to := g.Link(l).To
+			if dist[to] >= 0 {
+				continue
+			}
+			if to != target && !c.nodeOK(to) {
+				continue
+			}
+			dist[to] = dist[n] + 1
+			queue = append(queue, to)
+		}
+	}
+	if target == topology.NoNode {
+		return 0
+	}
+	return -1
+}
+
+func distSlice(g *topology.Graph) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	return dist
+}
+
+// ShortestPath returns a shortest path from src to dst satisfying c, and
+// whether one exists.
+func ShortestPath(g *topology.Graph, src, dst topology.NodeID, c Constraint) (topology.Path, bool) {
+	if src == dst {
+		return topology.Path{}, false
+	}
+	// Forward BFS computing distances from src.
+	dist := distSlice(g)
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			break
+		}
+		if c.MaxHops > 0 && dist[n] >= c.MaxHops {
+			continue
+		}
+		for _, l := range g.Out(n) {
+			if !c.linkOK(l) {
+				continue
+			}
+			to := g.Link(l).To
+			if dist[to] >= 0 {
+				continue
+			}
+			if to != dst && !c.nodeOK(to) {
+				continue
+			}
+			dist[to] = dist[n] + 1
+			queue = append(queue, to)
+		}
+	}
+	if dist[dst] < 0 {
+		return topology.Path{}, false
+	}
+	// Backtrack from dst, at each step choosing an in-link whose tail is one
+	// hop closer to src. Randomized tie-breaking when c.TieBreak is set.
+	links := make([]topology.LinkID, dist[dst])
+	cur := dst
+	for d := dist[dst]; d > 0; d-- {
+		var candidates []topology.LinkID
+		for _, l := range g.In(cur) {
+			if !c.linkOK(l) {
+				continue
+			}
+			from := g.Link(l).From
+			if dist[from] != d-1 {
+				continue
+			}
+			if from != src && !c.nodeOK(from) {
+				continue
+			}
+			if c.TieBreak == nil {
+				// Deterministic: lowest link id wins; take the first and
+				// keep scanning only to preserve lowest-id semantics.
+				if candidates == nil || l < candidates[0] {
+					candidates = []topology.LinkID{l}
+				}
+				continue
+			}
+			candidates = append(candidates, l)
+		}
+		choice := candidates[0]
+		if c.TieBreak != nil && len(candidates) > 1 {
+			choice = candidates[c.TieBreak.Intn(len(candidates))]
+		}
+		links[d-1] = choice
+		cur = g.Link(choice).From
+	}
+	p, err := topology.NewPath(g, links)
+	if err != nil {
+		// BFS trees cannot produce discontiguous or cyclic paths.
+		panic("routing: internal error: " + err.Error())
+	}
+	return p, true
+}
+
+// Exclusion accumulates components to avoid, for sequential disjoint routing.
+type Exclusion struct {
+	links map[topology.LinkID]struct{}
+	nodes map[topology.NodeID]struct{}
+}
+
+// NewExclusion returns an empty exclusion set.
+func NewExclusion() *Exclusion {
+	return &Exclusion{
+		links: make(map[topology.LinkID]struct{}),
+		nodes: make(map[topology.NodeID]struct{}),
+	}
+}
+
+// AddPath excludes every component of p: all its simplex links and all its
+// interior nodes. Reverse-direction links are distinct components in the
+// paper's failure model (a simplex link crashes independently), so they are
+// not excluded — though a backup can rarely use them anyway, since their
+// endpoints are excluded interior nodes.
+func (e *Exclusion) AddPath(p topology.Path) {
+	for _, l := range p.Links() {
+		e.links[l] = struct{}{}
+	}
+	for _, n := range p.InteriorNodes() {
+		e.nodes[n] = struct{}{}
+	}
+}
+
+// AddLink excludes a single link (not its reverse).
+func (e *Exclusion) AddLink(l topology.LinkID) { e.links[l] = struct{}{} }
+
+// AddNode excludes a single node.
+func (e *Exclusion) AddNode(n topology.NodeID) { e.nodes[n] = struct{}{} }
+
+// LinkExcluded reports whether l is excluded.
+func (e *Exclusion) LinkExcluded(l topology.LinkID) bool {
+	_, bad := e.links[l]
+	return bad
+}
+
+// NodeExcluded reports whether n is excluded.
+func (e *Exclusion) NodeExcluded(n topology.NodeID) bool {
+	_, bad := e.nodes[n]
+	return bad
+}
+
+// Constrain merges the exclusion into an existing constraint, returning a
+// new constraint that also avoids the excluded components.
+func (e *Exclusion) Constrain(c Constraint) Constraint {
+	prevLink, prevNode := c.LinkAllowed, c.NodeAllowed
+	c.LinkAllowed = func(l topology.LinkID) bool {
+		if e.LinkExcluded(l) {
+			return false
+		}
+		return prevLink == nil || prevLink(l)
+	}
+	c.NodeAllowed = func(n topology.NodeID) bool {
+		if e.NodeExcluded(n) {
+			return false
+		}
+		return prevNode == nil || prevNode(n)
+	}
+	return c
+}
+
+// SequentialDisjointPaths implements the paper's routing discipline: it
+// returns up to count paths from src to dst, each a shortest path under c
+// avoiding all components (links, their reverses, and interior nodes) of the
+// previously found ones. Fewer than count paths are returned when the
+// residual graph disconnects. This greedy method can miss disjoint path sets
+// that a flow-based method would find; see MaxDisjointPaths for the
+// flow-based alternative.
+func SequentialDisjointPaths(g *topology.Graph, src, dst topology.NodeID, count int, c Constraint) []topology.Path {
+	var paths []topology.Path
+	excl := NewExclusion()
+	for i := 0; i < count; i++ {
+		cc := excl.Constrain(c)
+		p, ok := ShortestPath(g, src, dst, cc)
+		if !ok {
+			break
+		}
+		paths = append(paths, p)
+		excl.AddPath(p)
+	}
+	return paths
+}

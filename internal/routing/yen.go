@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"sort"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// under c, in non-decreasing hop order, using Yen's algorithm. Unlike the
+// disjoint-path searches, successive paths may overlap — useful for
+// enumerating alternate backup candidates when a strictly disjoint path is
+// infeasible or too long, and for the QoS-negotiation search over
+// candidate routes.
+func KShortestPaths(g *topology.Graph, src, dst topology.NodeID, k int, c Constraint) []topology.Path {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first, ok := ShortestPath(g, src, dst, c)
+	if !ok {
+		return nil
+	}
+	paths := []topology.Path{first}
+	// Candidate pool, deduplicated by the path's link signature.
+	type candidate struct {
+		path topology.Path
+		key  string
+	}
+	var pool []candidate
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes()
+		prevLinks := prev.Links()
+		// For each spur node of the previous path, ban the link each
+		// already-found path takes out of the shared root, and ban the
+		// root's interior nodes, then search for a spur path.
+		for i := 0; i < len(prevLinks); i++ {
+			spur := prevNodes[i]
+			rootLinks := prevLinks[:i]
+
+			banned := make(map[topology.LinkID]struct{})
+			for _, p := range paths {
+				if sharesRoot(p, rootLinks) && p.Hops() > i {
+					banned[p.Links()[i]] = struct{}{}
+				}
+			}
+			rootNodes := make(map[topology.NodeID]struct{})
+			for _, n := range prevNodes[:i] {
+				rootNodes[n] = struct{}{}
+			}
+
+			spurC := c
+			prevLinkOK, prevNodeOK := c.LinkAllowed, c.NodeAllowed
+			spurC.LinkAllowed = func(l topology.LinkID) bool {
+				if _, bad := banned[l]; bad {
+					return false
+				}
+				return prevLinkOK == nil || prevLinkOK(l)
+			}
+			spurC.NodeAllowed = func(n topology.NodeID) bool {
+				if _, bad := rootNodes[n]; bad {
+					return false
+				}
+				return prevNodeOK == nil || prevNodeOK(n)
+			}
+			if spurC.MaxHops > 0 {
+				spurC.MaxHops -= i
+				if spurC.MaxHops <= 0 {
+					continue
+				}
+			}
+			spurPath, ok := ShortestPath(g, spur, dst, spurC)
+			if !ok {
+				continue
+			}
+			total := append(append([]topology.LinkID{}, rootLinks...), spurPath.Links()...)
+			full, err := topology.NewPath(g, total)
+			if err != nil {
+				continue // root+spur formed a loop; skip
+			}
+			if c.MaxHops > 0 && full.Hops() > c.MaxHops {
+				continue
+			}
+			key := pathKey(full)
+			if !seen[key] {
+				seen[key] = true
+				pool = append(pool, candidate{path: full, key: key})
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sort.SliceStable(pool, func(a, b int) bool { return pool[a].path.Hops() < pool[b].path.Hops() })
+		paths = append(paths, pool[0].path)
+		pool = pool[1:]
+	}
+	return paths
+}
+
+// pathKey builds a dedup signature from the link sequence.
+func pathKey(p topology.Path) string {
+	links := p.Links()
+	b := make([]byte, 0, len(links)*4)
+	for _, l := range links {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// sharesRoot reports whether p begins with exactly the given link prefix.
+func sharesRoot(p topology.Path, root []topology.LinkID) bool {
+	links := p.Links()
+	if len(links) < len(root) {
+		return false
+	}
+	for i, l := range root {
+		if links[i] != l {
+			return false
+		}
+	}
+	return true
+}

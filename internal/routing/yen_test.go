@@ -1,0 +1,113 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+func TestKShortestBasic(t *testing.T) {
+	g := topology.NewMesh(3, 3, 10)
+	// 0-1-2 / 3-4-5 / 6-7-8: from 0 to 8 there are six 4-hop paths.
+	paths := KShortestPaths(g, 0, 8, 6, Constraint{})
+	if len(paths) != 6 {
+		t.Fatalf("got %d paths, want 6", len(paths))
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if p.Hops() != 4 {
+			t.Fatalf("path %v has %d hops, want 4", p, p.Hops())
+		}
+		if p.Source() != 0 || p.Destination() != 8 {
+			t.Fatal("wrong endpoints")
+		}
+		if seen[p.String()] {
+			t.Fatalf("duplicate path %v", p)
+		}
+		seen[p.String()] = true
+	}
+	// The 7th path must be longer.
+	paths = KShortestPaths(g, 0, 8, 7, Constraint{})
+	if len(paths) != 7 || paths[6].Hops() <= 4 {
+		t.Fatalf("7th path: %v", paths)
+	}
+}
+
+func TestKShortestOrdering(t *testing.T) {
+	g := topology.NewTorus(4, 4, 10)
+	paths := KShortestPaths(g, 0, 5, 12, Constraint{})
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Hops() < paths[i-1].Hops() {
+			t.Fatalf("paths out of order: %d then %d hops", paths[i-1].Hops(), paths[i].Hops())
+		}
+	}
+}
+
+func TestKShortestRespectsConstraints(t *testing.T) {
+	g := topology.NewMesh(3, 3, 10)
+	ban := g.LinkBetween(0, 1)
+	c := Constraint{
+		MaxHops:     4,
+		LinkAllowed: func(l topology.LinkID) bool { return l != ban },
+	}
+	paths := KShortestPaths(g, 0, 8, 10, c)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range paths {
+		if p.ContainsLink(ban) {
+			t.Fatalf("path %v uses banned link", p)
+		}
+		if p.Hops() > 4 {
+			t.Fatalf("path %v exceeds hop bound", p)
+		}
+	}
+	// Banning 0->1 halves the 4-hop paths: only those via 0->3 remain (3).
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+}
+
+func TestKShortestSinglePathGraph(t *testing.T) {
+	g := topology.NewLine(5, 10)
+	paths := KShortestPaths(g, 0, 4, 5, Constraint{})
+	if len(paths) != 1 {
+		t.Fatalf("line graph should yield exactly 1 path, got %d", len(paths))
+	}
+}
+
+func TestKShortestLoopless(t *testing.T) {
+	g := topology.NewTorus(4, 4, 10)
+	for _, p := range KShortestPaths(g, 0, 10, 20, Constraint{}) {
+		nodes := map[topology.NodeID]bool{}
+		for _, n := range p.Nodes() {
+			if nodes[n] {
+				t.Fatalf("path %v revisits node %d", p, n)
+			}
+			nodes[n] = true
+		}
+	}
+}
+
+func TestKShortestDegenerate(t *testing.T) {
+	g := topology.NewLine(3, 10)
+	if got := KShortestPaths(g, 0, 0, 3, Constraint{}); got != nil {
+		t.Fatal("src==dst should yield nothing")
+	}
+	if got := KShortestPaths(g, 0, 2, 0, Constraint{}); got != nil {
+		t.Fatal("k=0 should yield nothing")
+	}
+}
+
+func BenchmarkKShortestTorus(b *testing.B) {
+	g := topology.NewTorus(8, 8, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := KShortestPaths(g, 0, 36, 10, Constraint{}); len(got) != 10 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package rtchan
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+func delayTestNet(t *testing.T) (*Network, *topology.Graph) {
+	t.Helper()
+	g := topology.NewLine(4, 10) // 10 Mbps links
+	return NewNetwork(g), g
+}
+
+func specWithMsg(bw float64, msgSize int) TrafficSpec {
+	return TrafficSpec{Bandwidth: bw, MaxMsgSize: msgSize, MaxMsgRate: 100, SlackHops: 2}
+}
+
+func TestPerHopDelayBoundEmptyLink(t *testing.T) {
+	n, g := delayTestNet(t)
+	model := DelayModel{ControlFrameSize: 250, PropDelay: time.Millisecond}
+	// 10 Mbps link, candidate 1000 B, control 250 B:
+	// (250+1000)*8 bits / 10e6 bps = 1 ms, + 1 ms propagation.
+	got := n.PerHopDelayBound(g.LinkBetween(0, 1), specWithMsg(1, 1000), model)
+	if got != 2*time.Millisecond {
+		t.Fatalf("bound = %v, want 2ms", got)
+	}
+}
+
+func TestPerHopDelayBoundGrowsWithChannels(t *testing.T) {
+	n, g := delayTestNet(t)
+	model := DelayModel{ControlFrameSize: 0, PropDelay: 0}
+	p, _ := topology.PathBetween(g, []topology.NodeID{0, 1, 2})
+	if _, err := n.Establish(1, RolePrimary, 0, p, specWithMsg(1, 1250)); err != nil {
+		t.Fatal(err)
+	}
+	l := g.LinkBetween(0, 1)
+	before := n.PerHopDelayBound(l, specWithMsg(1, 1250), model)
+	// One competing channel of 1250 B on a 10 Mbps link adds 1 ms.
+	if before != 2*time.Millisecond {
+		t.Fatalf("bound = %v, want 2ms (own + one competitor)", before)
+	}
+	// Backups do not contribute (they carry no data until activated).
+	if _, err := n.Establish(2, RoleBackup, 1, p, specWithMsg(1, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.PerHopDelayBound(l, specWithMsg(1, 1250), model); got != before {
+		t.Fatalf("backup changed the bound: %v", got)
+	}
+}
+
+func TestPathDelayBoundSums(t *testing.T) {
+	n, g := delayTestNet(t)
+	model := DelayModel{ControlFrameSize: 0, PropDelay: time.Millisecond}
+	p, _ := topology.PathBetween(g, []topology.NodeID{0, 1, 2, 3})
+	spec := specWithMsg(1, 1250)
+	// 3 hops × (1 ms tx + 1 ms prop) = 6 ms.
+	if got := n.PathDelayBound(p, spec, model); got != 6*time.Millisecond {
+		t.Fatalf("bound = %v, want 6ms", got)
+	}
+}
+
+func TestDelayAdmissionOwnContract(t *testing.T) {
+	n, g := delayTestNet(t)
+	model := DelayModel{ControlFrameSize: 0, PropDelay: time.Millisecond}
+	p, _ := topology.PathBetween(g, []topology.NodeID{0, 1, 2, 3})
+	spec := specWithMsg(1, 1250)
+	spec.DelayBound = 6 * time.Millisecond
+	if bound, ok := n.DelayAdmission(p, spec, model); !ok || bound != 6*time.Millisecond {
+		t.Fatalf("admission: bound=%v ok=%v", bound, ok)
+	}
+	spec.DelayBound = 5 * time.Millisecond
+	if _, ok := n.DelayAdmission(p, spec, model); ok {
+		t.Fatal("admission accepted a violated contract")
+	}
+}
+
+func TestDelayAdmissionProtectsEstablished(t *testing.T) {
+	n, g := delayTestNet(t)
+	model := DelayModel{ControlFrameSize: 0, PropDelay: 0}
+	// An established channel with a contract that has 1 ms of slack.
+	p1, _ := topology.PathBetween(g, []topology.NodeID{0, 1, 2})
+	s1 := specWithMsg(1, 1250)
+	s1.DelayBound = 3 * time.Millisecond // current bound: 2 hops × 1ms = 2ms
+	if _, err := n.Establish(1, RolePrimary, 0, p1, s1); err != nil {
+		t.Fatal(err)
+	}
+	// A small newcomer sharing one link (adds 0.2 ms there): fine.
+	p2, _ := topology.PathBetween(g, []topology.NodeID{0, 1})
+	small := specWithMsg(1, 250)
+	if _, ok := n.DelayAdmission(p2, small, model); !ok {
+		t.Fatal("harmless newcomer rejected")
+	}
+	// A big newcomer sharing both links (adds 2 × 1.6 ms): breaks s1.
+	big := specWithMsg(1, 2000)
+	if _, ok := n.DelayAdmission(p1, big, model); ok {
+		t.Fatal("contract-breaking newcomer admitted")
+	}
+	// The same newcomer is fine if the established channel has no contract.
+	n2, _ := delayTestNet(t)
+	s1.DelayBound = 0
+	if _, err := n2.Establish(1, RolePrimary, 0, p1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n2.DelayAdmission(p1, big, model); !ok {
+		t.Fatal("newcomer rejected despite no contracts to protect")
+	}
+}

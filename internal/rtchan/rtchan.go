@@ -1,0 +1,387 @@
+// Package rtchan implements the real-time channel substrate that BCP runs on
+// top of — the paper's Real-time Network Manager Protocol (RNMP) analogue.
+//
+// It provides per-link bandwidth accounting with a three-way split of each
+// link's capacity (dedicated reservations for primary/activated channels, a
+// shared spare pool sized by the multiplexing engine, and free capacity), an
+// admission test, and a registry of established channels.
+//
+// The package is deliberately ignorant of *why* spare bandwidth is sized the
+// way it is: backup multiplexing lives in internal/core. rtchan only
+// enforces the invariant dedicated + spare <= capacity on every link.
+package rtchan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// ConnID identifies a D-connection.
+type ConnID int32
+
+// ChannelID identifies a channel (primary or backup) network-wide.
+type ChannelID int64
+
+// NoChannel is the zero/invalid channel id.
+const NoChannel ChannelID = 0
+
+// Role distinguishes primary from backup channels.
+type Role uint8
+
+// Channel roles.
+const (
+	RolePrimary Role = iota
+	RoleBackup
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// TrafficSpec is the client's traffic contract for one channel. Following
+// the paper's evaluation we account only link bandwidth; the message-level
+// fields feed the RMTP scheduler (internal/sched) in protocol-mode runs.
+type TrafficSpec struct {
+	// Bandwidth reserved on every link of the channel's path (Mbps).
+	Bandwidth float64
+	// MaxMsgSize in bytes (RMTP regulator parameter).
+	MaxMsgSize int
+	// MaxMsgRate in messages/second (RMTP regulator parameter).
+	MaxMsgRate float64
+	// SlackHops is the QoS rule of the paper's evaluation: the end-to-end
+	// delay bound is met iff the path is at most SlackHops longer than the
+	// shortest possible path.
+	SlackHops int
+	// DelayBound, when non-zero, is an explicit end-to-end delay contract
+	// checked by the analytic admission test (DelayAdmission) in addition
+	// to the hop rule. Zero leaves the hop rule as the only QoS criterion,
+	// matching the paper's evaluation.
+	DelayBound time.Duration
+}
+
+// DefaultSpec reproduces the paper's homogeneous traffic model: 1 Mbps
+// channels whose delay bound tolerates paths up to 2 hops over shortest.
+func DefaultSpec() TrafficSpec {
+	return TrafficSpec{Bandwidth: 1, MaxMsgSize: 1024, MaxMsgRate: 128, SlackHops: 2}
+}
+
+// Channel is an established real-time channel: a fixed path with bandwidth
+// reserved on each of its links.
+type Channel struct {
+	ID     ChannelID
+	Conn   ConnID
+	Role   Role
+	Serial int // backup serial number within its connection (0 = primary)
+	Path   topology.Path
+	Spec   TrafficSpec
+}
+
+// Bandwidth is a convenience accessor.
+func (c *Channel) Bandwidth() float64 { return c.Spec.Bandwidth }
+
+// linkAccount tracks one link's bandwidth split.
+type linkAccount struct {
+	capacity  float64
+	dedicated float64 // primary channels and activated backups
+	spare     float64 // shared spare pool for backups (sized by internal/core)
+}
+
+func (a *linkAccount) free() float64 { return a.capacity - a.dedicated - a.spare }
+
+// Network is the reservation state of a whole network: one account per link
+// plus the channel registry. It is not safe for concurrent use; the
+// simulation is single-threaded (see internal/sim).
+type Network struct {
+	g        *topology.Graph
+	accounts []linkAccount
+	channels map[ChannelID]*Channel
+	byLink   [][]ChannelID // channels whose path uses each link
+	byNode   [][]ChannelID // channels whose path visits each node (incl. ends)
+	nextID   ChannelID
+}
+
+// NewNetwork creates reservation state for graph g with all links empty.
+func NewNetwork(g *topology.Graph) *Network {
+	n := &Network{
+		g:        g,
+		accounts: make([]linkAccount, g.NumLinks()),
+		channels: make(map[ChannelID]*Channel),
+		byLink:   make([][]ChannelID, g.NumLinks()),
+		byNode:   make([][]ChannelID, g.NumNodes()),
+		nextID:   1,
+	}
+	for i, l := range g.Links() {
+		n.accounts[i].capacity = l.Capacity
+	}
+	return n
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Channel returns the channel with the given id, or nil.
+func (n *Network) Channel(id ChannelID) *Channel { return n.channels[id] }
+
+// NumChannels returns the number of established channels.
+func (n *Network) NumChannels() int { return len(n.channels) }
+
+// ChannelsOnLink returns the ids of channels routed over link l, in
+// ascending id order. The returned slice must not be modified.
+func (n *Network) ChannelsOnLink(l topology.LinkID) []ChannelID { return n.byLink[l] }
+
+// ChannelsAtNode returns the ids of channels whose path visits node v
+// (including as an end node). Must not be modified.
+func (n *Network) ChannelsAtNode(v topology.NodeID) []ChannelID { return n.byNode[v] }
+
+// Free returns the unreserved bandwidth on link l.
+func (n *Network) Free(l topology.LinkID) float64 { return n.accounts[l].free() }
+
+// Dedicated returns the bandwidth dedicated to primaries/activated channels
+// on link l.
+func (n *Network) Dedicated(l topology.LinkID) float64 { return n.accounts[l].dedicated }
+
+// Spare returns the spare-pool reservation on link l.
+func (n *Network) Spare(l topology.LinkID) float64 { return n.accounts[l].spare }
+
+// Capacity returns the capacity of link l.
+func (n *Network) Capacity(l topology.LinkID) float64 { return n.accounts[l].capacity }
+
+// SetSpare resizes the spare pool on link l. It fails if the new level would
+// overcommit the link. Called by the multiplexing engine only.
+func (n *Network) SetSpare(l topology.LinkID, spare float64) error {
+	if spare < 0 {
+		return fmt.Errorf("rtchan: negative spare %g on link %d", spare, l)
+	}
+	a := &n.accounts[l]
+	if a.dedicated+spare > a.capacity+capacityTolerance {
+		return fmt.Errorf("rtchan: spare %g + dedicated %g exceeds capacity %g on link %d",
+			spare, a.dedicated, a.capacity, l)
+	}
+	a.spare = spare
+	return nil
+}
+
+// capacityTolerance absorbs floating-point accumulation error in repeated
+// reserve/release cycles.
+const capacityTolerance = 1e-6
+
+// CanReserve reports whether every link of path has at least bw free.
+func (n *Network) CanReserve(path topology.Path, bw float64) bool {
+	for _, l := range path.Links() {
+		if n.accounts[l].free()+capacityTolerance < bw {
+			return false
+		}
+	}
+	return true
+}
+
+// Establish admits and registers a channel on the given path, dedicating
+// spec.Bandwidth on every link for primaries. Backup channels are
+// registered without dedicated bandwidth — their reservation lives in the
+// spare pools managed by the multiplexing engine.
+func (n *Network) Establish(conn ConnID, role Role, serial int, path topology.Path, spec TrafficSpec) (*Channel, error) {
+	if path.IsZero() {
+		return nil, fmt.Errorf("rtchan: empty path")
+	}
+	if spec.Bandwidth <= 0 {
+		return nil, fmt.Errorf("rtchan: non-positive bandwidth %g", spec.Bandwidth)
+	}
+	if role == RolePrimary {
+		if !n.CanReserve(path, spec.Bandwidth) {
+			return nil, fmt.Errorf("rtchan: admission failed for %g Mbps on %s", spec.Bandwidth, path)
+		}
+		for _, l := range path.Links() {
+			n.accounts[l].dedicated += spec.Bandwidth
+		}
+	}
+	ch := &Channel{
+		ID:     n.nextID,
+		Conn:   conn,
+		Role:   role,
+		Serial: serial,
+		Path:   path,
+		Spec:   spec,
+	}
+	n.nextID++
+	n.channels[ch.ID] = ch
+	n.index(ch)
+	return ch, nil
+}
+
+// Teardown removes a channel, releasing its dedicated bandwidth if it is a
+// primary. Spare-pool adjustments for backups are the multiplexing engine's
+// job and must happen separately.
+func (n *Network) Teardown(id ChannelID) error {
+	ch, ok := n.channels[id]
+	if !ok {
+		return fmt.Errorf("rtchan: unknown channel %d", id)
+	}
+	if ch.Role == RolePrimary {
+		for _, l := range ch.Path.Links() {
+			n.accounts[l].dedicated -= ch.Spec.Bandwidth
+			if n.accounts[l].dedicated < 0 {
+				n.accounts[l].dedicated = 0 // clamp float drift
+			}
+		}
+	}
+	delete(n.channels, id)
+	n.unindex(ch)
+	return nil
+}
+
+// Promote converts a backup channel into a primary (backup activation):
+// its bandwidth becomes dedicated on every link of its path. The caller
+// (the multiplexing engine) must have released the corresponding spare
+// first, or verified headroom; Promote itself only enforces the capacity
+// invariant.
+func (n *Network) Promote(id ChannelID) error {
+	ch, ok := n.channels[id]
+	if !ok {
+		return fmt.Errorf("rtchan: unknown channel %d", id)
+	}
+	if ch.Role != RoleBackup {
+		return fmt.Errorf("rtchan: channel %d is not a backup", id)
+	}
+	for _, l := range ch.Path.Links() {
+		a := &n.accounts[l]
+		if a.dedicated+a.spare+ch.Spec.Bandwidth > a.capacity+capacityTolerance {
+			// Roll back the links already promoted.
+			for _, u := range ch.Path.Links() {
+				if u == l {
+					break
+				}
+				n.accounts[u].dedicated -= ch.Spec.Bandwidth
+			}
+			return fmt.Errorf("rtchan: link %d cannot dedicate %g for activation", l, ch.Spec.Bandwidth)
+		}
+		a.dedicated += ch.Spec.Bandwidth
+	}
+	ch.Role = RolePrimary
+	return nil
+}
+
+// Demote converts a primary channel into a backup (a repaired channel
+// rejoining as a cold standby, §4.4): its dedicated bandwidth is released.
+// The caller is responsible for registering it with the multiplexing engine.
+func (n *Network) Demote(id ChannelID, serial int) error {
+	ch, ok := n.channels[id]
+	if !ok {
+		return fmt.Errorf("rtchan: unknown channel %d", id)
+	}
+	if ch.Role != RolePrimary {
+		return fmt.Errorf("rtchan: channel %d is not a primary", id)
+	}
+	for _, l := range ch.Path.Links() {
+		n.accounts[l].dedicated -= ch.Spec.Bandwidth
+		if n.accounts[l].dedicated < 0 {
+			n.accounts[l].dedicated = 0
+		}
+	}
+	ch.Role = RoleBackup
+	ch.Serial = serial
+	return nil
+}
+
+// NetworkLoad returns the paper's network-load metric: total bandwidth
+// dedicated to primary channels divided by total network capacity.
+func (n *Network) NetworkLoad() float64 {
+	var dedicated, capacity float64
+	for i := range n.accounts {
+		dedicated += n.accounts[i].dedicated
+		capacity += n.accounts[i].capacity
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return dedicated / capacity
+}
+
+// SpareFraction returns total spare reservation divided by total capacity —
+// the paper's "average spare bandwidth" metric (Figure 9, Tables 1-3).
+func (n *Network) SpareFraction() float64 {
+	var spare, capacity float64
+	for i := range n.accounts {
+		spare += n.accounts[i].spare
+		capacity += n.accounts[i].capacity
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return spare / capacity
+}
+
+// index registers ch in the per-link and per-node lookup tables.
+func (n *Network) index(ch *Channel) {
+	for _, l := range ch.Path.Links() {
+		n.byLink[l] = insertSorted(n.byLink[l], ch.ID)
+	}
+	for _, v := range ch.Path.Nodes() {
+		n.byNode[v] = insertSorted(n.byNode[v], ch.ID)
+	}
+}
+
+func (n *Network) unindex(ch *Channel) {
+	for _, l := range ch.Path.Links() {
+		n.byLink[l] = removeSorted(n.byLink[l], ch.ID)
+	}
+	for _, v := range ch.Path.Nodes() {
+		n.byNode[v] = removeSorted(n.byNode[v], ch.ID)
+	}
+}
+
+func insertSorted(s []ChannelID, id ChannelID) []ChannelID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func removeSorted(s []ChannelID, id ChannelID) []ChannelID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// CheckInvariants verifies the capacity invariant on every link and index
+// consistency; tests call it after mutation sequences.
+func (n *Network) CheckInvariants() error {
+	for i := range n.accounts {
+		a := &n.accounts[i]
+		if a.dedicated < -capacityTolerance || a.spare < -capacityTolerance {
+			return fmt.Errorf("rtchan: negative account on link %d: dedicated=%g spare=%g", i, a.dedicated, a.spare)
+		}
+		if a.dedicated+a.spare > a.capacity+capacityTolerance {
+			return fmt.Errorf("rtchan: link %d overcommitted: dedicated=%g spare=%g capacity=%g",
+				i, a.dedicated, a.spare, a.capacity)
+		}
+	}
+	for id, ch := range n.channels {
+		if ch.ID != id {
+			return fmt.Errorf("rtchan: registry id mismatch %d vs %d", id, ch.ID)
+		}
+		for _, l := range ch.Path.Links() {
+			if !containsID(n.byLink[l], id) {
+				return fmt.Errorf("rtchan: channel %d missing from link %d index", id, l)
+			}
+		}
+	}
+	return nil
+}
+
+func containsID(s []ChannelID, id ChannelID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}

@@ -1,0 +1,240 @@
+package rtchan
+
+import (
+	"testing"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+func line4() (*topology.Graph, topology.Path) {
+	g := topology.NewLine(4, 10)
+	p, err := topology.PathBetween(g, []topology.NodeID{0, 1, 2, 3})
+	if err != nil {
+		panic(err)
+	}
+	return g, p
+}
+
+func TestEstablishPrimaryReserves(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	spec := TrafficSpec{Bandwidth: 4}
+	ch, err := n.Establish(1, RolePrimary, 0, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ID == NoChannel {
+		t.Fatal("zero channel id")
+	}
+	for _, l := range p.Links() {
+		if n.Dedicated(l) != 4 {
+			t.Fatalf("link %d dedicated = %g", l, n.Dedicated(l))
+		}
+		if n.Free(l) != 6 {
+			t.Fatalf("link %d free = %g", l, n.Free(l))
+		}
+	}
+	// Reverse-direction links untouched.
+	rev := g.LinkBetween(1, 0)
+	if n.Dedicated(rev) != 0 {
+		t.Fatal("reverse link reserved")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionRejects(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	if _, err := n.Establish(1, RolePrimary, 0, p, TrafficSpec{Bandwidth: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Establish(2, RolePrimary, 0, p, TrafficSpec{Bandwidth: 7}); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	if _, err := n.Establish(2, RolePrimary, 0, p, TrafficSpec{Bandwidth: 3}); err != nil {
+		t.Fatalf("fitting channel rejected: %v", err)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstablishRejectsBadArgs(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	if _, err := n.Establish(1, RolePrimary, 0, topology.Path{}, TrafficSpec{Bandwidth: 1}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := n.Establish(1, RolePrimary, 0, p, TrafficSpec{Bandwidth: 0}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestBackupDoesNotDedicate(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	ch, err := n.Establish(1, RoleBackup, 1, p, TrafficSpec{Bandwidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Links() {
+		if n.Dedicated(l) != 0 {
+			t.Fatal("backup dedicated bandwidth")
+		}
+	}
+	if ch.Role != RoleBackup || ch.Serial != 1 {
+		t.Fatal("role/serial wrong")
+	}
+}
+
+func TestTeardownReleases(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	ch, _ := n.Establish(1, RolePrimary, 0, p, TrafficSpec{Bandwidth: 4})
+	if err := n.Teardown(ch.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Links() {
+		if n.Dedicated(l) != 0 {
+			t.Fatal("teardown did not release")
+		}
+	}
+	if n.Channel(ch.ID) != nil {
+		t.Fatal("channel still registered")
+	}
+	if err := n.Teardown(ch.ID); err == nil {
+		t.Fatal("double teardown accepted")
+	}
+	if len(n.ChannelsOnLink(p.Links()[0])) != 0 {
+		t.Fatal("link index not cleaned")
+	}
+}
+
+func TestSetSpare(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	l := p.Links()[0]
+	if err := n.SetSpare(l, 6); err != nil {
+		t.Fatal(err)
+	}
+	if n.Spare(l) != 6 || n.Free(l) != 4 {
+		t.Fatalf("spare=%g free=%g", n.Spare(l), n.Free(l))
+	}
+	if err := n.SetSpare(l, 11); err == nil {
+		t.Fatal("overcommitted spare accepted")
+	}
+	if err := n.SetSpare(l, -1); err == nil {
+		t.Fatal("negative spare accepted")
+	}
+	// Spare constrains primary admission.
+	if _, err := n.Establish(1, RolePrimary, 0, p, TrafficSpec{Bandwidth: 5}); err == nil {
+		t.Fatal("admission ignored spare pool")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	ch, _ := n.Establish(1, RoleBackup, 1, p, TrafficSpec{Bandwidth: 4})
+	if err := n.Promote(ch.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Role != RolePrimary {
+		t.Fatal("role not updated")
+	}
+	for _, l := range p.Links() {
+		if n.Dedicated(l) != 4 {
+			t.Fatal("promotion did not dedicate bandwidth")
+		}
+	}
+	if err := n.Promote(ch.ID); err == nil {
+		t.Fatal("promoting a primary accepted")
+	}
+}
+
+func TestPromoteRollsBackOnFailure(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	ch, _ := n.Establish(1, RoleBackup, 1, p, TrafficSpec{Bandwidth: 4})
+	// Saturate the last link so promotion fails mid-path.
+	last := p.Links()[len(p.Links())-1]
+	if err := n.SetSpare(last, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Promote(ch.ID); err == nil {
+		t.Fatal("promotion should fail")
+	}
+	for _, l := range p.Links() {
+		if n.Dedicated(l) != 0 {
+			t.Fatalf("rollback left dedicated=%g on link %d", n.Dedicated(l), l)
+		}
+	}
+	if ch.Role != RoleBackup {
+		t.Fatal("failed promotion changed role")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	g, p := line4()
+	n := NewNetwork(g)
+	c1, _ := n.Establish(1, RolePrimary, 0, p, TrafficSpec{Bandwidth: 1})
+	c2, _ := n.Establish(2, RolePrimary, 0, p, TrafficSpec{Bandwidth: 1})
+	l := p.Links()[1]
+	ids := n.ChannelsOnLink(l)
+	if len(ids) != 2 || ids[0] != c1.ID || ids[1] != c2.ID {
+		t.Fatalf("link index = %v", ids)
+	}
+	atNode := n.ChannelsAtNode(0)
+	if len(atNode) != 2 {
+		t.Fatalf("node index = %v", atNode)
+	}
+	n.Teardown(c1.ID)
+	if ids := n.ChannelsOnLink(l); len(ids) != 1 || ids[0] != c2.ID {
+		t.Fatalf("link index after teardown = %v", ids)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	g := topology.NewLine(3, 10) // 4 simplex links, capacity 40 total
+	n := NewNetwork(g)
+	p, _ := topology.PathBetween(g, []topology.NodeID{0, 1, 2})
+	n.Establish(1, RolePrimary, 0, p, TrafficSpec{Bandwidth: 5})
+	if got := n.NetworkLoad(); got != 10.0/40.0 {
+		t.Fatalf("load = %g", got)
+	}
+	n.SetSpare(p.Links()[0], 2)
+	if got := n.SpareFraction(); got != 2.0/40.0 {
+		t.Fatalf("spare fraction = %g", got)
+	}
+}
+
+func TestManyChannelsInvariantHolds(t *testing.T) {
+	g := topology.NewTorus(4, 4, 100)
+	n := NewNetwork(g)
+	var chans []ChannelID
+	// Saturating mix of establishes and teardowns.
+	paths := [][]topology.NodeID{
+		{0, 1, 2}, {2, 3, 0}, {5, 6, 7}, {0, 4, 8}, {8, 9, 10, 11},
+	}
+	for round := 0; round < 50; round++ {
+		for _, nodes := range paths {
+			p, err := topology.PathBetween(g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := n.Establish(ConnID(round), RolePrimary, 0, p, TrafficSpec{Bandwidth: 1.5})
+			if err == nil {
+				chans = append(chans, ch.ID)
+			}
+		}
+		if round%3 == 0 && len(chans) > 0 {
+			n.Teardown(chans[0])
+			chans = chans[1:]
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

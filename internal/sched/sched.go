@@ -1,0 +1,229 @@
+// Package sched implements the run-time side of the real-time channel
+// service — the paper's Real-time Message Transmission Protocol (RMTP)
+// analogue: a token-bucket traffic regulator that smooths bursty sources,
+// and a non-preemptive static-priority link scheduler with three service
+// classes (RCC control traffic above real-time data above best-effort).
+//
+// The scheduler drives packet timing in protocol-mode simulations: each link
+// serializes packets at its capacity, delivering them after a propagation
+// delay. Failed links drop everything silently, matching the paper's crash
+// model.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtcl/bcp/internal/sim"
+)
+
+// Class is a packet service class; lower values are served first.
+type Class uint8
+
+// Service classes. The RCC network rides above real-time data so that
+// control messages keep their delay bound even through congested links
+// (the capacity reserved for RCCs makes this sound; see §5.2).
+const (
+	ClassControl Class = iota
+	ClassRealTime
+	ClassBestEffort
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassRealTime:
+		return "realtime"
+	case ClassBestEffort:
+		return "besteffort"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Packet is one scheduled transmission unit.
+type Packet struct {
+	Class   Class
+	Size    int // bytes
+	Payload interface{}
+}
+
+// LinkStats counts a link's scheduler activity.
+type LinkStats struct {
+	Enqueued     uint64
+	Delivered    uint64
+	DroppedDown  uint64 // dropped because the link was down
+	DroppedQueue uint64 // dropped because the class queue overflowed
+	BusyTime     sim.Duration
+}
+
+// Link is one simplex link's transmitter: a serializing resource at a fixed
+// capacity with per-class FIFO queues and a propagation delay.
+type Link struct {
+	eng     *sim.Engine
+	bps     float64 // capacity in bits/second
+	prop    sim.Duration
+	deliver func(Packet)
+
+	queues   [numClasses][]Packet
+	maxQueue int
+	busy     bool
+	down     bool
+	stats    LinkStats
+}
+
+// NewLink creates a transmitter. capacityMbps is the link bandwidth in
+// Mbps (1e6 bits/s); prop is the propagation delay; deliver is invoked in
+// simulated time when a packet reaches the far end. maxQueue bounds each
+// class queue (0 = unbounded).
+func NewLink(eng *sim.Engine, capacityMbps float64, prop sim.Duration, maxQueue int, deliver func(Packet)) *Link {
+	if capacityMbps <= 0 {
+		panic("sched: non-positive capacity")
+	}
+	if deliver == nil {
+		panic("sched: nil deliver")
+	}
+	return &Link{eng: eng, bps: capacityMbps * 1e6, prop: prop, maxQueue: maxQueue, deliver: deliver}
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown marks the link failed or repaired. Packets queued or in flight
+// when the link goes down are lost (a crashed link "loses all messages
+// transmitted over it").
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if down {
+		for c := range l.queues {
+			l.stats.DroppedDown += uint64(len(l.queues[c]))
+			l.queues[c] = nil
+		}
+	}
+}
+
+// QueueLen returns the number of queued packets across classes.
+func (l *Link) QueueLen() int {
+	n := 0
+	for c := range l.queues {
+		n += len(l.queues[c])
+	}
+	return n
+}
+
+// Enqueue submits a packet for transmission.
+func (l *Link) Enqueue(p Packet) {
+	if p.Class >= numClasses {
+		panic(fmt.Sprintf("sched: invalid class %d", p.Class))
+	}
+	if p.Size <= 0 {
+		panic(fmt.Sprintf("sched: invalid size %d", p.Size))
+	}
+	if l.down {
+		l.stats.DroppedDown++
+		return
+	}
+	if l.maxQueue > 0 && len(l.queues[p.Class]) >= l.maxQueue {
+		l.stats.DroppedQueue++
+		return
+	}
+	l.stats.Enqueued++
+	l.queues[p.Class] = append(l.queues[p.Class], p)
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+// startNext dequeues the highest-priority packet and transmits it.
+func (l *Link) startNext() {
+	var p Packet
+	found := false
+	for c := Class(0); c < numClasses; c++ {
+		if len(l.queues[c]) > 0 {
+			p = l.queues[c][0]
+			l.queues[c] = l.queues[c][1:]
+			found = true
+			break
+		}
+	}
+	if !found {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := sim.Duration(float64(p.Size*8) / l.bps * float64(time.Second))
+	l.stats.BusyTime += txTime
+	l.eng.Schedule(txTime, func() {
+		if !l.down {
+			pkt := p
+			l.eng.Schedule(l.prop, func() {
+				l.stats.Delivered++
+				l.deliver(pkt)
+			})
+		} else {
+			l.stats.DroppedDown++
+		}
+		l.startNext()
+	})
+}
+
+// TokenBucket is the RMTP traffic regulator: tokens accrue at Rate per
+// second up to Burst; sending a message of cost c requires c tokens.
+type TokenBucket struct {
+	Rate  float64 // tokens per second
+	Burst float64 // bucket depth
+
+	tokens float64
+	last   sim.Time
+}
+
+// NewTokenBucket creates a full bucket.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic("sched: non-positive token bucket parameters")
+	}
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: burst}
+}
+
+func (tb *TokenBucket) refill(now sim.Time) {
+	if now > tb.last {
+		tb.tokens += tb.Rate * now.Sub(tb.last).Seconds()
+		if tb.tokens > tb.Burst {
+			tb.tokens = tb.Burst
+		}
+		tb.last = now
+	}
+}
+
+// Admit consumes cost tokens if available at time now, reporting success.
+func (tb *TokenBucket) Admit(now sim.Time, cost float64) bool {
+	tb.refill(now)
+	if tb.tokens+1e-12 < cost {
+		return false
+	}
+	tb.tokens -= cost
+	return true
+}
+
+// NextEligible returns the earliest time at or after now when a message of
+// the given cost could be admitted (without consuming tokens).
+func (tb *TokenBucket) NextEligible(now sim.Time, cost float64) sim.Time {
+	tb.refill(now)
+	if tb.tokens >= cost {
+		return now
+	}
+	need := cost - tb.tokens
+	wait := sim.Duration(need / tb.Rate * float64(time.Second))
+	return now.Add(wait)
+}
+
+// Tokens returns the current token count as of the given time.
+func (tb *TokenBucket) Tokens(now sim.Time) float64 {
+	tb.refill(now)
+	return tb.tokens
+}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtcl/bcp/internal/sim"
+)
+
+func TestLinkSerializesAtCapacity(t *testing.T) {
+	eng := sim.New(1)
+	var arrivals []sim.Time
+	// 1 Mbps link, no propagation: a 1250-byte packet takes 10 ms.
+	l := NewLink(eng, 1, 0, 0, func(Packet) { arrivals = append(arrivals, eng.Now()) })
+	for i := 0; i < 3; i++ {
+		l.Enqueue(Packet{Class: ClassRealTime, Size: 1250})
+	}
+	eng.Run()
+	want := []sim.Time{
+		sim.Time(10 * time.Millisecond),
+		sim.Time(20 * time.Millisecond),
+		sim.Time(30 * time.Millisecond),
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival %d at %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+	st := l.Stats()
+	if st.Delivered != 3 || st.Enqueued != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusyTime != sim.Duration(30*time.Millisecond) {
+		t.Fatalf("busy time = %v", st.BusyTime)
+	}
+}
+
+func TestLinkPropagationDelayPipelines(t *testing.T) {
+	eng := sim.New(1)
+	var arrivals []sim.Time
+	l := NewLink(eng, 1, 5*time.Millisecond, 0, func(Packet) { arrivals = append(arrivals, eng.Now()) })
+	l.Enqueue(Packet{Class: ClassRealTime, Size: 1250})
+	l.Enqueue(Packet{Class: ClassRealTime, Size: 1250})
+	eng.Run()
+	// Transmission 10ms each, propagation 5ms: arrivals at 15 and 25 ms —
+	// propagation overlaps the next transmission.
+	if arrivals[0] != sim.Time(15*time.Millisecond) || arrivals[1] != sim.Time(25*time.Millisecond) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	eng := sim.New(1)
+	var order []Class
+	l := NewLink(eng, 1, 0, 0, func(p Packet) { order = append(order, p.Class) })
+	// Fill while busy: first packet occupies the link, then best-effort and
+	// control queue up; control must jump ahead.
+	l.Enqueue(Packet{Class: ClassRealTime, Size: 1250})
+	l.Enqueue(Packet{Class: ClassBestEffort, Size: 1250})
+	l.Enqueue(Packet{Class: ClassBestEffort, Size: 1250})
+	l.Enqueue(Packet{Class: ClassControl, Size: 125})
+	eng.Run()
+	want := []Class{ClassRealTime, ClassControl, ClassBestEffort, ClassBestEffort}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLinkDownDropsEverything(t *testing.T) {
+	eng := sim.New(1)
+	delivered := 0
+	l := NewLink(eng, 1, 0, 0, func(Packet) { delivered++ })
+	l.Enqueue(Packet{Class: ClassRealTime, Size: 1250})
+	l.Enqueue(Packet{Class: ClassRealTime, Size: 1250})
+	// Fail the link mid-transmission of the first packet.
+	eng.Schedule(5*time.Millisecond, func() { l.SetDown(true) })
+	// More traffic while down.
+	eng.Schedule(20*time.Millisecond, func() { l.Enqueue(Packet{Class: ClassRealTime, Size: 1250}) })
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d over a failed link", delivered)
+	}
+	st := l.Stats()
+	if st.DroppedDown != 3 {
+		t.Fatalf("dropped = %d, want 3 (in-flight + queued + late)", st.DroppedDown)
+	}
+}
+
+func TestLinkRepairResumesService(t *testing.T) {
+	eng := sim.New(1)
+	delivered := 0
+	l := NewLink(eng, 1, 0, 0, func(Packet) { delivered++ })
+	l.SetDown(true)
+	l.Enqueue(Packet{Class: ClassRealTime, Size: 125})
+	eng.Schedule(time.Millisecond, func() {
+		l.SetDown(false)
+		l.Enqueue(Packet{Class: ClassRealTime, Size: 125})
+	})
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, 1, 0, 2, func(Packet) {})
+	for i := 0; i < 5; i++ {
+		l.Enqueue(Packet{Class: ClassBestEffort, Size: 1250})
+	}
+	// One transmitting + 2 queued; 2 dropped.
+	if st := l.Stats(); st.DroppedQueue != 2 {
+		t.Fatalf("dropped = %d, want 2", st.DroppedQueue)
+	}
+	eng.Run()
+}
+
+func TestEnqueuePanics(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, 1, 0, 0, func(Packet) {})
+	for _, p := range []Packet{
+		{Class: numClasses, Size: 10},
+		{Class: ClassControl, Size: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", p)
+				}
+			}()
+			l.Enqueue(p)
+		}()
+	}
+}
+
+func TestTokenBucketBasics(t *testing.T) {
+	tb := NewTokenBucket(10, 5) // 10 tokens/s, depth 5
+	now := sim.Time(0)
+	// Burst drains the bucket.
+	for i := 0; i < 5; i++ {
+		if !tb.Admit(now, 1) {
+			t.Fatalf("admit %d failed", i)
+		}
+	}
+	if tb.Admit(now, 1) {
+		t.Fatal("admitted past the burst")
+	}
+	// After 100 ms one token has accrued.
+	now = now.Add(100 * time.Millisecond)
+	if !tb.Admit(now, 1) {
+		t.Fatal("refill failed")
+	}
+	if tb.Admit(now, 1) {
+		t.Fatal("double admit")
+	}
+}
+
+func TestTokenBucketNextEligible(t *testing.T) {
+	tb := NewTokenBucket(10, 1)
+	now := sim.Time(0)
+	if !tb.Admit(now, 1) {
+		t.Fatal("initial admit failed")
+	}
+	next := tb.NextEligible(now, 1)
+	if next != sim.Time(100*time.Millisecond) {
+		t.Fatalf("next = %v, want 100ms", next)
+	}
+	if got := tb.NextEligible(next, 1); got != next {
+		t.Fatalf("eligible-now case returned %v", got)
+	}
+	// NextEligible must not consume tokens.
+	if !tb.Admit(next, 1) {
+		t.Fatal("NextEligible consumed tokens")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	tb := NewTokenBucket(1000, 2)
+	if got := tb.Tokens(sim.Time(time.Hour)); got != 2 {
+		t.Fatalf("tokens = %g, want burst cap 2", got)
+	}
+}
+
+func TestRegulatorShapesLinkTraffic(t *testing.T) {
+	// End-to-end: a bursty source regulated to 100 msgs/s over a fast link
+	// must deliver messages no faster than the token rate.
+	eng := sim.New(1)
+	var arrivals []sim.Time
+	l := NewLink(eng, 100, 0, 0, func(Packet) { arrivals = append(arrivals, eng.Now()) })
+	tb := NewTokenBucket(100, 1)
+	var send func(i int)
+	send = func(i int) {
+		if i >= 10 {
+			return
+		}
+		next := tb.NextEligible(eng.Now(), 1)
+		eng.At(next, func() {
+			if !tb.Admit(eng.Now(), 1) {
+				t.Error("admission failed at eligible time")
+				return
+			}
+			l.Enqueue(Packet{Class: ClassRealTime, Size: 125})
+			send(i + 1)
+		})
+	}
+	send(0)
+	eng.Run()
+	if len(arrivals) != 10 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if gap := arrivals[i].Sub(arrivals[i-1]); gap < 9*time.Millisecond {
+			t.Fatalf("gap %d = %v, regulator failed", i, gap)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassControl.String() != "control" || Class(9).String() != "class(9)" {
+		t.Fatal("class strings wrong")
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim is a deterministic discrete-event simulation engine. It drives
+// the protocol-level BCP experiments: control-message transmission over the
+// RCC network, failure detection, rejoin timers, and data transfer.
+//
+// Events scheduled at equal times fire in scheduling order (FIFO), so runs
+// are reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for callers' convenience; simulated
+// durations use the same unit (nanoseconds).
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Timer is a handle to a scheduled event. A Timer may be stopped before it
+// fires; stopping a fired or already-stopped timer is a no-op.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. It reports whether the cancellation prevented the
+// event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.fn = nil
+	return true
+}
+
+// Fired reports whether the timer's event has run.
+func (t *Timer) Fired() bool { return t != nil && t.fired }
+
+// Active reports whether the timer is still pending: scheduled, not fired,
+// and not stopped. A nil timer is inactive.
+func (t *Timer) Active() bool { return t != nil && !t.fired && !t.stopped }
+
+// When returns the scheduled firing time.
+func (t *Timer) When() Time { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is the simulation executive. It is not safe for concurrent use:
+// the simulated world is single-threaded by design, which keeps protocol
+// traces reproducible.
+type Engine struct {
+	now       Time
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+}
+
+// New creates an engine whose random source is seeded deterministically.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// stopped timers not yet reaped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d. A negative delay panics: the simulated
+// world cannot rewrite its past.
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed (false when the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		tm := heap.Pop(&e.events).(*Timer)
+		if tm.stopped {
+			continue
+		}
+		e.now = tm.at
+		tm.fired = true
+		fn := tm.fn
+		tm.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with firing times <= t, then advances the clock
+// to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		tm := e.peek()
+		if tm == nil || tm.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events for the next d of simulated time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) peek() *Timer {
+	for len(e.events) > 0 {
+		if e.events[0].stopped {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}

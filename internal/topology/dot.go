@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DotOptions customizes WriteDot output.
+type DotOptions struct {
+	// HighlightPaths draws each path in a distinct color (cycled from a
+	// small palette) with penwidth 2.
+	HighlightPaths []Path
+	// FailedLinks and FailedNodes render dashed/red.
+	FailedLinks []LinkID
+	FailedNodes []NodeID
+	// LinkLabels, when non-nil, supplies an edge label per link (e.g.
+	// "dedicated/spare/capacity" from the resource plane).
+	LinkLabels func(LinkID) string
+}
+
+var dotPalette = []string{"blue", "forestgreen", "darkorange", "purple", "crimson", "teal"}
+
+// WriteDot renders the graph in Graphviz DOT format. Duplex link pairs
+// collapse into one undirected edge unless their attributes differ; simplex
+// links without a reverse render as directed edges.
+func (g *Graph) WriteDot(w io.Writer, opts DotOptions) error {
+	failedLink := make(map[LinkID]bool, len(opts.FailedLinks))
+	for _, l := range opts.FailedLinks {
+		failedLink[l] = true
+	}
+	failedNode := make(map[NodeID]bool, len(opts.FailedNodes))
+	for _, n := range opts.FailedNodes {
+		failedNode[n] = true
+	}
+	linkColor := make(map[LinkID]string)
+	nodeOnPath := make(map[NodeID]bool)
+	for i, p := range opts.HighlightPaths {
+		color := dotPalette[i%len(dotPalette)]
+		for _, l := range p.Links() {
+			linkColor[l] = color
+		}
+		for _, n := range p.Nodes() {
+			nodeOnPath[n] = true
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.Name())
+	b.WriteString("  layout=neato;\n  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		attrs := []string{}
+		if failedNode[NodeID(v)] {
+			attrs = append(attrs, `color=red`, `style=dashed`)
+		} else if nodeOnPath[NodeID(v)] {
+			attrs = append(attrs, `style=bold`)
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %d [%s];\n", v, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	// Collapse duplex pairs: emit each undirected edge once (lower id side).
+	emitted := make(map[LinkID]bool)
+	links := append([]Link(nil), g.Links()...)
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	for _, l := range links {
+		if emitted[l.ID] {
+			continue
+		}
+		rev := g.Reverse(l.ID)
+		directed := rev == NoLink
+		if !directed {
+			emitted[rev] = true
+		}
+		emitted[l.ID] = true
+		var attrs []string
+		if failedLink[l.ID] || (rev != NoLink && failedLink[rev]) {
+			attrs = append(attrs, "color=red", "style=dashed")
+		} else if c, ok := linkColor[l.ID]; ok {
+			attrs = append(attrs, fmt.Sprintf("color=%s", c), "penwidth=2")
+		} else if rev != NoLink {
+			if c, ok := linkColor[rev]; ok {
+				attrs = append(attrs, fmt.Sprintf("color=%s", c), "penwidth=2")
+			}
+		}
+		if opts.LinkLabels != nil {
+			if lbl := opts.LinkLabels(l.ID); lbl != "" {
+				attrs = append(attrs, fmt.Sprintf("label=%q", lbl))
+			}
+		}
+		arrow := " -- "
+		if directed {
+			arrow = " -> "
+			attrs = append(attrs, "dir=forward")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %d%s%d [%s];\n", l.From, arrow, l.To, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  %d%s%d;\n", l.From, arrow, l.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

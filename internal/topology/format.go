@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A plain-text topology format for loading custom networks (e.g. measured
+// WANs) into the tools:
+//
+//	# comment
+//	topology my-wan
+//	nodes 10
+//	link 0 1 155        # duplex: a pair of simplex links, 155 Mbps each
+//	simplex 3 4 45      # one direction only
+//
+// Directives may appear in any order except that "nodes" must precede any
+// link. Blank lines and #-comments are ignored.
+
+// Parse reads a topology from r.
+func Parse(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	name := "custom"
+	var g *Graph
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...interface{}) (*Graph, error) {
+			return nil, fmt.Errorf("topology: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "topology":
+			if len(fields) != 2 {
+				return fail("topology takes one name")
+			}
+			name = fields[1]
+			if g != nil {
+				return fail("topology must precede nodes")
+			}
+		case "nodes":
+			if g != nil {
+				return fail("duplicate nodes directive")
+			}
+			if len(fields) != 2 {
+				return fail("nodes takes one count")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return fail("bad node count %q", fields[1])
+			}
+			g = NewGraph(name, n)
+		case "link", "simplex":
+			if g == nil {
+				return fail("%s before nodes", fields[0])
+			}
+			if len(fields) != 4 {
+				return fail("%s takes: from to capacity", fields[0])
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			cap, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fail("bad %s arguments", fields[0])
+			}
+			if _, err := g.AddLink(NodeID(a), NodeID(b), cap); err != nil {
+				return fail("%v", err)
+			}
+			if fields[0] == "link" {
+				if _, err := g.AddLink(NodeID(b), NodeID(a), cap); err != nil {
+					return fail("%v", err)
+				}
+			}
+		default:
+			return fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("topology: no nodes directive")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Format writes g in the Parse format: duplex pairs with equal capacity
+// collapse into "link" lines, the rest become "simplex".
+func Format(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology %s\n", g.Name())
+	fmt.Fprintf(&b, "nodes %d\n", g.NumNodes())
+	emitted := make(map[LinkID]bool)
+	links := append([]Link(nil), g.Links()...)
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	for _, l := range links {
+		if emitted[l.ID] {
+			continue
+		}
+		emitted[l.ID] = true
+		if rev := g.Reverse(l.ID); rev != NoLink && !emitted[rev] && g.Link(rev).Capacity == l.Capacity {
+			emitted[rev] = true
+			fmt.Fprintf(&b, "link %d %d %g\n", l.From, l.To, l.Capacity)
+			continue
+		}
+		fmt.Fprintf(&b, "simplex %d %d %g\n", l.From, l.To, l.Capacity)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

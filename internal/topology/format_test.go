@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# a small WAN
+topology test-wan
+nodes 4
+link 0 1 155
+link 1 2 155
+simplex 2 3 45   # one-way trunk
+`
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "test-wan" || g.NumNodes() != 4 {
+		t.Fatalf("name=%q nodes=%d", g.Name(), g.NumNodes())
+	}
+	if g.NumLinks() != 5 { // 2 duplex pairs + 1 simplex
+		t.Fatalf("links = %d, want 5", g.NumLinks())
+	}
+	if g.LinkBetween(1, 0) == NoLink {
+		t.Fatal("duplex pair missing reverse")
+	}
+	if g.LinkBetween(3, 2) != NoLink {
+		t.Fatal("simplex got a reverse")
+	}
+	if got := g.Link(g.LinkBetween(2, 3)).Capacity; got != 45 {
+		t.Fatalf("capacity = %g", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no nodes":          "link 0 1 10\n",
+		"empty":             "",
+		"bad count":         "nodes zero\n",
+		"negative count":    "nodes -3\n",
+		"dup nodes":         "nodes 2\nnodes 3\n",
+		"late topology":     "nodes 2\ntopology x\n",
+		"bad link args":     "nodes 2\nlink 0 1\n",
+		"bad capacity":      "nodes 2\nlink 0 1 fast\n",
+		"out of range":      "nodes 2\nlink 0 5 10\n",
+		"self loop":         "nodes 2\nlink 1 1 10\n",
+		"unknown directive": "nodes 2\nedge 0 1 10\n",
+		"duplicate link":    "nodes 2\nlink 0 1 10\nsimplex 0 1 10\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		NewTorus(4, 4, 200),
+		NewMesh(3, 5, 300),
+		NewRandom(20, 3, 55, 9),
+	} {
+		var b strings.Builder
+		if err := Format(&b, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", g.Name(), err, b.String())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+			t.Fatalf("%s: %d/%d nodes, %d/%d links",
+				g.Name(), g2.NumNodes(), g.NumNodes(), g2.NumLinks(), g.NumLinks())
+		}
+		for _, l := range g.Links() {
+			l2 := g2.LinkBetween(l.From, l.To)
+			if l2 == NoLink || g2.Link(l2).Capacity != l.Capacity {
+				t.Fatalf("%s: link %d->%d lost or changed", g.Name(), l.From, l.To)
+			}
+		}
+	}
+}
+
+func TestFormatMixedCapacityPairs(t *testing.T) {
+	g := NewGraph("asym", 2)
+	if _, err := g.AddLink(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink(1, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Format(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "simplex 0 1 100") || !strings.Contains(out, "simplex 1 0 50") {
+		t.Fatalf("asymmetric pair not preserved:\n%s", out)
+	}
+}
