@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: vet + build + the full suite under the race
+# detector (the parallel sweep worker pool runs even in short mode).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench records the kernel micro-benchmarks to BENCH_<LABEL>.json; set
+# COMPARE to a previous file to embed deltas.
+LABEL ?= dev
+COMPARE ?=
+bench:
+	$(GO) run ./cmd/bcpbench -label $(LABEL) $(if $(COMPARE),-compare $(COMPARE))

@@ -1,0 +1,188 @@
+// Command bcpbench runs the repository's kernel micro-benchmarks through
+// testing.Benchmark and records the results as JSON, so performance work can
+// be compared across commits without scraping `go test -bench` output.
+//
+// Usage:
+//
+//	bcpbench                          # writes BENCH_pr1.json
+//	bcpbench -label mybranch          # writes BENCH_mybranch.json
+//	bcpbench -compare BENCH_main.json # embed a baseline and per-metric deltas
+//	bcpbench -workers 8               # also time a parallel Table 1 column
+//
+// The three kernels mirror the benchmarks in bench_test.go: the 4032-pair
+// establishment (the setup cost of every table), one establishment on a
+// loaded network, and one failure trial (the inner loop of every R_fast
+// sweep).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/rtcl/bcp"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Vs the same benchmark in the -compare file: negative is faster.
+	DeltaNsPct *float64 `json:"delta_ns_pct,omitempty"`
+}
+
+// File is the schema of a BENCH_<label>.json file.
+type File struct {
+	Label    string   `json:"label"`
+	Date     string   `json:"date"`
+	Results  []Result `json:"results"`
+	Baseline string   `json:"baseline,omitempty"`
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func loadedManager() *bcp.Manager {
+	g := bcp.NewTorus(8, 8, 200)
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+	bcp.EstablishWorkload(mgr, bcp.AllPairs(g, bcp.DefaultSpec(), []int{3}))
+	return mgr
+}
+
+func main() {
+	label := flag.String("label", "pr1", "output label: results go to BENCH_<label>.json")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to diff against")
+	workers := flag.Int("workers", 0, "if > 1, also benchmark a parallel Table 1 column at this pool size")
+	flag.Parse()
+
+	// Load the baseline before measuring anything: a bad -compare path
+	// should fail in milliseconds, not after minutes of benchmarking.
+	var baseline *File
+	if *compare != "" {
+		base, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcpbench: %v\n", err)
+			os.Exit(1)
+		}
+		var bf File
+		if err := json.Unmarshal(base, &bf); err != nil {
+			fmt.Fprintf(os.Stderr, "bcpbench: bad baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		baseline = &bf
+	}
+
+	var results []Result
+
+	results = append(results, measure("EstablishAllPairs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := bcp.NewTorus(8, 8, 200)
+			mgr := bcp.NewManager(g, bcp.DefaultConfig())
+			est, _ := bcp.EstablishWorkload(mgr, bcp.AllPairs(g, bcp.DefaultSpec(), []int{3}))
+			if est != 4032 {
+				b.Fatalf("established %d", est)
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "EstablishAllPairs done\n")
+
+	mgr := loadedManager()
+	results = append(results, measure("SingleEstablish", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			conn, err := mgr.Establish(0, 36, bcp.DefaultSpec(), []int{3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := mgr.Teardown(conn.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "SingleEstablish done\n")
+
+	trialMgr := loadedManager()
+	f := bcp.SingleNode(27)
+	results = append(results, measure("FailureTrial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stats := trialMgr.Trial(f, bcp.OrderByConn, nil)
+			if stats.FailedPrimaries == 0 {
+				b.Fatal("no failures")
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "FailureTrial done\n")
+
+	if *workers > 1 {
+		opts := bcp.DefaultExperimentOptions()
+		opts.DoubleNodeSample = 200
+		opts.Workers = *workers
+		results = append(results, measure(fmt.Sprintf("Table1Column-w%d", *workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := bcp.RunTable1(bcp.Torus8x8, 1, []int{3}, opts)
+				if len(res.Columns) != 1 {
+					b.Fatal("wrong shape")
+				}
+			}
+		}))
+		fmt.Fprintf(os.Stderr, "Table1Column done\n")
+	}
+
+	out := File{
+		Label:   *label,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Results: results,
+	}
+	if baseline != nil {
+		out.Baseline = baseline.Label
+		byName := make(map[string]Result, len(baseline.Results))
+		for _, r := range baseline.Results {
+			byName[r.Name] = r
+		}
+		for i := range out.Results {
+			if b, ok := byName[out.Results[i].Name]; ok && b.NsPerOp > 0 {
+				d := 100 * (out.Results[i].NsPerOp - b.NsPerOp) / b.NsPerOp
+				out.Results[i].DeltaNsPct = &d
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcpbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	path := fmt.Sprintf("BENCH_%s.json", *label)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bcpbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+	for _, r := range out.Results {
+		delta := ""
+		if r.DeltaNsPct != nil {
+			delta = fmt.Sprintf("  (%+.1f%% vs %s)", *r.DeltaNsPct, out.Baseline)
+		}
+		fmt.Printf("%-24s %12.0f ns/op %12d B/op %9d allocs/op%s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, delta)
+	}
+}

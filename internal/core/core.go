@@ -110,6 +110,11 @@ func (d *DConnection) Channels() []*rtchan.Channel {
 }
 
 // Manager is the BCP control plane for one network.
+//
+// A Manager is not safe for concurrent use: mutation methods obviously so,
+// and even read-mostly entry points (Trial, CheckMuxInvariants) reuse
+// internal scratch buffers and lazily-maintained caches. Concurrent sweeps
+// build one Manager per worker (see internal/experiment).
 type Manager struct {
 	cfg      Config
 	net      *rtchan.Network
@@ -117,6 +122,12 @@ type Manager struct {
 	order    []rtchan.ConnID // establishment order, for deterministic iteration
 	mux      []linkMux       // one per link
 	nextConn rtchan.ConnID
+	scache   *sCache      // memoized S(Bi,Bj) per connection pair
+	qpowTab  []float64          // (1-λ)^k by k, backing the fast S evaluation
+	trial    trialScratch       // reusable failure-trial buffers
+	muxDec   muxDecisionScratch // per-addBackup mutualExclusion memo
+	// recomputeDone is recomputeLinkMux's pair-dedup set, allocated once.
+	recomputeDone map[rtchan.ChannelID]struct{}
 }
 
 // NewManager creates a BCP manager over an empty reservation network for g.
@@ -125,11 +136,13 @@ func NewManager(g *topology.Graph, cfg Config) *Manager {
 		panic(fmt.Sprintf("core: lambda %g out of (0,1)", cfg.Lambda))
 	}
 	m := &Manager{
-		cfg:      cfg,
-		net:      rtchan.NewNetwork(g),
-		conns:    make(map[rtchan.ConnID]*DConnection),
-		mux:      make([]linkMux, g.NumLinks()),
-		nextConn: 1,
+		cfg:           cfg,
+		net:           rtchan.NewNetwork(g),
+		conns:         make(map[rtchan.ConnID]*DConnection),
+		mux:           make([]linkMux, g.NumLinks()),
+		nextConn:      1,
+		scache:        newSCache(),
+		recomputeDone: make(map[rtchan.ChannelID]struct{}),
 	}
 	for i := range m.mux {
 		m.mux[i].entries = make(map[rtchan.ChannelID]*muxEntry)

@@ -46,6 +46,9 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 		if conn.Primary != nil {
 			_ = m.net.Teardown(conn.Primary.ID)
 		}
+		// The ID is not consumed on rejection: the next attempt reuses it
+		// with a different primary, so cached S values must not survive.
+		m.scache.bump(conn.ID)
 	}
 
 	// Route the primary.
@@ -142,8 +145,9 @@ func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, p
 		// would cause there, plus a small per-hop cost so ties (zero-growth
 		// corridors) still prefer short paths.
 		nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+		ps := m.newProspectiveS(primary)
 		w := func(l topology.LinkID) float64 {
-			return 0.05*bw + m.prospectiveSpareIncrease(l, primary, bw, nu)
+			return 0.05*bw + m.prospectiveSpareIncrease(l, ps, bw, nu)
 		}
 		if p, ok := routing.MinCostPath(g, src, dst, c, w); ok {
 			return p, true
@@ -183,6 +187,8 @@ func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Pat
 		if conn.Primary != nil {
 			_ = m.net.Teardown(conn.Primary.ID)
 		}
+		// See Establish: the rejected ID will be reused by the next attempt.
+		m.scache.bump(conn.ID)
 	}
 	prim, err := m.net.Establish(conn.ID, rtchan.RolePrimary, 0, primary, spec)
 	if err != nil {
@@ -279,5 +285,6 @@ func (m *Manager) Teardown(id rtchan.ConnID) error {
 		}
 	}
 	delete(m.conns, id)
+	m.scache.forget(id)
 	return nil
 }

@@ -17,11 +17,26 @@ type muxEntry struct {
 	nu    float64 // threshold ν = (α-0.5)·λ
 	// pi is Π(Bi,ℓ): the backups on this link that Bi must NOT share spare
 	// bandwidth with, restricted — per the paper's refinement — to backups
-	// whose multiplexing degree is no greater than Bi's.
-	pi map[rtchan.ChannelID]struct{}
+	// whose multiplexing degree is no greater than Bi's. Kept as a flat
+	// duplicate-free slice: membership inserts dominate (once per conflicting
+	// pair per shared link), while lookups and removals only happen on the
+	// rare teardown/promotion paths, where a linear scan is fine.
+	pi []rtchan.ChannelID
 	// req is this backup's spare-bandwidth requirement on the link:
 	// bw(Bi) + Σ_{Bj ∈ Π} bw(Bj).
 	req float64
+}
+
+// piRemove removes id from Π(e) if present, reporting whether it was.
+func (e *muxEntry) piRemove(id rtchan.ChannelID) bool {
+	for i, x := range e.pi {
+		if x == id {
+			e.pi[i] = e.pi[len(e.pi)-1]
+			e.pi = e.pi[:len(e.pi)-1]
+			return true
+		}
+	}
+	return false
 }
 
 // linkMux is one link's multiplexing state. The link's spare reservation is
@@ -34,17 +49,44 @@ type linkMux struct {
 	// claims tracks protocol-mode activation claims by channel, so the
 	// bidirectional activations of Scheme 3 stay idempotent per link.
 	claims map[rtchan.ChannelID]float64
+	// maxReq caches the max requirement over entries. Requirement growth
+	// updates it in place (noteReq); shrinkage that might dethrone the
+	// current max sets reqDirty instead, and the next requiredSpare call
+	// rescans. This keeps the add path — one noteReq per grown entry —
+	// free of full-link scans.
+	maxReq   float64
+	reqDirty bool
 }
 
-// requiredSpare recomputes the max requirement over entries.
+// requiredSpare returns the max requirement over entries, rescanning only
+// when a removal invalidated the cached value.
 func (lm *linkMux) requiredSpare() float64 {
-	var max float64
-	for _, e := range lm.entries {
-		if e.req > max {
-			max = e.req
+	if lm.reqDirty {
+		var max float64
+		for _, e := range lm.entries {
+			if e.req > max {
+				max = e.req
+			}
 		}
+		lm.maxReq = max
+		lm.reqDirty = false
 	}
-	return max
+	return lm.maxReq
+}
+
+// noteReq folds one entry's (possibly grown) requirement into the cached max.
+func (lm *linkMux) noteReq(req float64) {
+	if req > lm.maxReq {
+		lm.maxReq = req
+	}
+}
+
+// noteReqShrink records that req dropped from a value that may have been the
+// cached max; a rescan is deferred until the next requiredSpare call.
+func (lm *linkMux) noteReqShrink(oldReq float64) {
+	if oldReq >= lm.maxReq {
+		lm.reqDirty = true
+	}
 }
 
 // available returns the spare bandwidth an activation can still claim.
@@ -68,18 +110,66 @@ func (m *Manager) mutualExclusion(a, b *muxEntry) (aCountsB, bCountsA bool) {
 		// conservative treatment: its backup shares spare with nothing.
 		return true, true
 	}
-	s := reliability.SimultaneousActivation(
-		m.cfg.Lambda,
-		pa.Path.NumComponents(),
-		pb.Path.NumComponents(),
-		pa.Path.SharedComponents(pb.Path),
-	)
+	s := m.pairS(a.conn, b.conn)
 	if m.cfg.DisablePiDegreeRestriction {
 		return s >= a.nu, s >= b.nu
 	}
 	aCountsB = b.nu <= a.nu && s >= a.nu
 	bCountsA = a.nu <= b.nu && s >= b.nu
 	return aCountsB, bCountsA
+}
+
+// muxDecisionScratch memoizes mutualExclusion outcomes per peer channel for
+// the duration of one addBackup call. The decision for a (new backup, peer
+// channel) pair is link-independent, and the same peers recur on every link
+// the two backups share, so the multi-link add pays for each peer once.
+// Slots are generation-stamped slices indexed by ChannelID; forChan guards
+// against reuse across different adds.
+type muxDecisionScratch struct {
+	gen     uint32
+	forChan rtchan.ChannelID
+	chanGen []uint32
+	newInE  []bool
+	eInNew  []bool
+}
+
+// begin starts memoizing decisions for a new backup channel.
+func (d *muxDecisionScratch) begin(ch rtchan.ChannelID) {
+	d.gen++
+	if d.gen == 0 {
+		for i := range d.chanGen {
+			d.chanGen[i] = 0
+		}
+		d.gen = 1
+	}
+	d.forChan = ch
+}
+
+// lookup returns the memoized decision for peer channel id, if present.
+func (d *muxDecisionScratch) lookup(id rtchan.ChannelID) (newInE, eInNew, ok bool) {
+	if int(id) >= len(d.chanGen) || d.chanGen[id] != d.gen {
+		return false, false, false
+	}
+	return d.newInE[id], d.eInNew[id], true
+}
+
+// store records the decision for peer channel id.
+func (d *muxDecisionScratch) store(id rtchan.ChannelID, newInE, eInNew bool) {
+	if int(id) >= len(d.chanGen) {
+		n := int(id) + 1 + len(d.chanGen)/2
+		grownGen := make([]uint32, n)
+		copy(grownGen, d.chanGen)
+		d.chanGen = grownGen
+		grownA := make([]bool, n)
+		copy(grownA, d.newInE)
+		d.newInE = grownA
+		grownB := make([]bool, n)
+		copy(grownB, d.eInNew)
+		d.eInNew = grownB
+	}
+	d.chanGen[id] = d.gen
+	d.newInE[id] = newInE
+	d.eInNew[id] = eInNew
 }
 
 // addBackupToLink registers backup ch on link l and resizes the link's spare
@@ -93,36 +183,49 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 		conn:  conn,
 		alpha: alpha,
 		nu:    reliability.NuForDegree(m.cfg.Lambda, alpha),
-		pi:    make(map[rtchan.ChannelID]struct{}),
 		req:   bw,
 	}
-	// Tentatively wire the new entry into the Π structure.
-	type delta struct {
-		e *muxEntry
-	}
-	var grown []delta
+	// Decisions are reusable across links only within the addBackup call
+	// that started the memo for this channel.
+	memo := m.muxDec.forChan == ch.ID
+	// Tentatively wire the new entry into the Π structure. No undo log is
+	// kept: the rare rollback below reconstructs the growth by scanning for
+	// Π memberships, exactly as removeBackupFromLink does.
 	for _, e := range lm.entries {
-		newInE, eInNew := m.mutualExclusion(e, entry)
+		var newInE, eInNew bool
+		hit := false
+		if memo {
+			newInE, eInNew, hit = m.muxDec.lookup(e.ch.ID)
+		}
+		if !hit {
+			newInE, eInNew = m.mutualExclusion(e, entry)
+			if memo {
+				m.muxDec.store(e.ch.ID, newInE, eInNew)
+			}
+		}
 		if newInE {
-			e.pi[ch.ID] = struct{}{}
+			e.pi = append(e.pi, ch.ID)
 			e.req += bw
-			grown = append(grown, delta{e})
+			lm.noteReq(e.req)
 		}
 		if eInNew {
-			entry.pi[e.ch.ID] = struct{}{}
+			entry.pi = append(entry.pi, e.ch.ID)
 			entry.req += e.ch.Bandwidth()
 		}
 	}
 	lm.entries[ch.ID] = entry
+	lm.noteReq(entry.req)
 	need := lm.requiredSpare()
 	if need > lm.spare {
 		if err := m.net.SetSpare(l, need); err != nil {
-			// Roll back.
+			// Roll back. The undone growth may have held the cached max.
 			delete(lm.entries, ch.ID)
-			for _, d := range grown {
-				delete(d.e.pi, ch.ID)
-				d.e.req -= bw
+			for _, e := range lm.entries {
+				if e.piRemove(ch.ID) {
+					e.req -= bw
+				}
 			}
+			lm.reqDirty = true
 			return fmt.Errorf("core: link %d cannot grow spare to %g: %w", l, need, err)
 		}
 		lm.spare = need
@@ -134,14 +237,16 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 // spare pool if possible. Shrinking cannot fail.
 func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
 	lm := &m.mux[l]
-	if _, ok := lm.entries[ch.ID]; !ok {
+	gone, ok := lm.entries[ch.ID]
+	if !ok {
 		return
 	}
 	delete(lm.entries, ch.ID)
+	lm.noteReqShrink(gone.req)
 	bw := ch.Bandwidth()
 	for _, e := range lm.entries {
-		if _, had := e.pi[ch.ID]; had {
-			delete(e.pi, ch.ID)
+		if e.piRemove(ch.ID) {
+			lm.noteReqShrink(e.req)
 			e.req -= bw
 		}
 	}
@@ -160,6 +265,7 @@ func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
 
 // addBackup registers a backup on every link of its path, transactionally.
 func (m *Manager) addBackup(conn *DConnection, ch *rtchan.Channel, alpha int) error {
+	m.muxDec.begin(ch.ID)
 	links := ch.Path.Links()
 	for i, l := range links {
 		if err := m.addBackupToLink(l, conn, ch, alpha); err != nil {
@@ -207,24 +313,19 @@ func (m *Manager) BackupsOnLink(l topology.LinkID) int { return len(m.mux[l].ent
 func (m *Manager) SpareOnLink(l topology.LinkID) float64 { return m.mux[l].spare }
 
 // prospectiveSpareIncrease predicts how much link l's spare pool would grow
-// if a backup with the given bandwidth, threshold ν, and primary path were
-// admitted — the link weight of the [HAN97b]-style load-aware backup
-// routing (RouteLoadAware).
-func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, primary topology.Path, bw, nu float64) float64 {
+// if a backup with the given bandwidth, threshold ν, and primary path (held
+// by ps) were admitted — the link weight of the [HAN97b]-style load-aware
+// backup routing (RouteLoadAware). ps memoizes S per established connection
+// across the candidate links of one routing search.
+func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, ps *prospectiveS, bw, nu float64) float64 {
 	lm := &m.mux[l]
 	newReq := bw
 	maxGrown := 0.0
 	for _, e := range lm.entries {
-		ep := e.conn.Primary
-		if ep == nil {
+		if e.conn.Primary == nil {
 			continue
 		}
-		s := reliability.SimultaneousActivation(
-			m.cfg.Lambda,
-			primary.NumComponents(),
-			ep.Path.NumComponents(),
-			primary.SharedComponents(ep.Path),
-		)
+		s := ps.forConn(e.conn)
 		var newInE, eInNew bool
 		if m.cfg.DisablePiDegreeRestriction {
 			newInE, eInNew = s >= e.nu, s >= nu
@@ -252,12 +353,18 @@ func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, primary topology.P
 func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 	lm := &m.mux[l]
 	for _, e := range lm.entries {
-		e.pi = make(map[rtchan.ChannelID]struct{}, len(lm.entries))
+		e.pi = e.pi[:0] // reuse the allocated slice instead of reallocating
 		e.req = e.ch.Bandwidth()
 	}
 	// Deterministic pair iteration order is unnecessary: the result is
-	// order-independent (pure function of the entry set).
-	done := make(map[rtchan.ChannelID]struct{}, len(lm.entries))
+	// order-independent (pure function of the entry set). The dedup set is
+	// a Manager-level scratch map, cleared on entry.
+	done := m.recomputeDone
+	clear(done)
+	// Reconfiguration touches many links sharing the same connection pairs;
+	// let their S values populate the pair cache.
+	m.scache.admit = true
+	defer func() { m.scache.admit = false }()
 	for ida, a := range lm.entries {
 		for idb, b := range lm.entries {
 			if ida == idb {
@@ -268,16 +375,17 @@ func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 			}
 			aCountsB, bCountsA := m.mutualExclusion(a, b)
 			if aCountsB {
-				a.pi[idb] = struct{}{}
+				a.pi = append(a.pi, idb)
 				a.req += b.ch.Bandwidth()
 			}
 			if bCountsA {
-				b.pi[ida] = struct{}{}
+				b.pi = append(b.pi, ida)
 				b.req += a.ch.Bandwidth()
 			}
 		}
 		done[ida] = struct{}{}
 	}
+	lm.reqDirty = true // rebuilt from scratch; rescan the fresh requirements
 	need := math.Max(lm.requiredSpare(), lm.claimed)
 	if err := m.net.SetSpare(l, need); err != nil {
 		return err
@@ -287,10 +395,23 @@ func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 }
 
 // CheckMuxInvariants validates the engine's internal consistency; tests call
-// it after mutation sequences.
+// it after mutation sequences. Besides the paper-level invariants it
+// cross-checks the incremental caches (the per-link max requirement and the
+// pairwise S memo) against from-scratch recomputation.
 func (m *Manager) CheckMuxInvariants() error {
 	for l := range m.mux {
 		lm := &m.mux[l]
+		if !lm.reqDirty {
+			var max float64
+			for _, e := range lm.entries {
+				if e.req > max {
+					max = e.req
+				}
+			}
+			if math.Abs(max-lm.maxReq) > 1e-9 {
+				return fmt.Errorf("core: link %d cached max requirement %g, recomputed %g", l, lm.maxReq, max)
+			}
+		}
 		if lm.spare+1e-9 < lm.requiredSpare() && lm.claimed == 0 {
 			return fmt.Errorf("core: link %d spare %g below requirement %g", l, lm.spare, lm.requiredSpare())
 		}
@@ -302,7 +423,14 @@ func (m *Manager) CheckMuxInvariants() error {
 				return fmt.Errorf("core: link %d entry id mismatch", l)
 			}
 			want := e.ch.Bandwidth()
-			for peer := range e.pi {
+			for i, peer := range e.pi {
+				// Π is a set; a duplicate insert would inflate req and the
+				// spare pool consistently, so check it explicitly.
+				for _, later := range e.pi[i+1:] {
+					if later == peer {
+						return fmt.Errorf("core: link %d entry %d lists peer %d twice", l, id, peer)
+					}
+				}
 				pe, ok := lm.entries[peer]
 				if !ok {
 					return fmt.Errorf("core: link %d entry %d references absent peer %d", l, id, peer)
@@ -319,6 +447,21 @@ func (m *Manager) CheckMuxInvariants() error {
 			if math.Abs(want-e.req) > 1e-6 {
 				return fmt.Errorf("core: link %d entry %d req drift: stored %g recomputed %g", l, id, e.req, want)
 			}
+		}
+	}
+	// Every current cache entry must match a fresh S computation; entries
+	// with stale epochs or dead connections are unreachable and exempt.
+	for k, v := range m.scache.entries {
+		lo, hi := rtchan.ConnID(k>>32), rtchan.ConnID(uint32(k))
+		a, b := m.conns[lo], m.conns[hi]
+		if a == nil || b == nil || a.Primary == nil || b.Primary == nil {
+			continue
+		}
+		if v.epLo != m.scache.epoch(lo) || v.epHi != m.scache.epoch(hi) {
+			continue
+		}
+		if want := m.referenceS(a, b); math.Abs(want-v.s) > 1e-15 {
+			return fmt.Errorf("core: S-cache drift for pair (%d,%d): cached %g recomputed %g", lo, hi, v.s, want)
 		}
 	}
 	return nil

@@ -149,6 +149,7 @@ func (m *Manager) TeardownChannel(connID rtchan.ConnID, ch rtchan.ChannelID) err
 	}
 	if conn.Primary == nil && len(conn.Backups) == 0 {
 		delete(m.conns, connID)
+		m.scache.forget(connID)
 	}
 	return m.reconfigureLinks(touched)
 }
@@ -181,6 +182,7 @@ func (m *Manager) RestoreAsBackup(connID rtchan.ConnID, ch rtchan.ChannelID, alp
 		}
 		if conn.Primary != nil && conn.Primary.ID == ch {
 			conn.Primary = nil
+			m.primaryChanged(conn)
 		}
 	}
 	if err := m.addBackup(conn, c, alpha); err != nil {

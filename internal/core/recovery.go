@@ -222,17 +222,50 @@ func firstDegree(c *DConnection) int {
 	return c.Degrees[0]
 }
 
-// Trial evaluates a failure event without mutating any state, returning the
-// R_fast statistics the paper's Tables 1-3 report. Activations contend for
-// each link's spare pool in the given order; a backup activates iff it is
-// itself unaffected by the failure and every link of its path has enough
-// unclaimed spare bandwidth.
+// Trial evaluates a failure event without changing any reservation or
+// connection state, returning the R_fast statistics the paper's Tables 1-3
+// report. Activations contend for each link's spare pool in the given
+// order; a backup activates iff it is itself unaffected by the failure and
+// every link of its path has enough unclaimed spare bandwidth.
+//
+// Trial reuses per-Manager scratch buffers, so concurrent Trials on one
+// Manager must be externally serialized; the parallel sweep runner in
+// internal/experiment builds one Manager per worker instead.
 func (m *Manager) Trial(f Failure, order ActivationOrder, rng *rand.Rand) RecoveryStats {
 	var stats RecoveryStats
-	affected := m.affectedConnections(f)
+	t := &m.trial
+	t.begin(m.Graph().NumLinks())
 
-	var needsRecovery []*DConnection
-	for connID, channels := range affected {
+	// Discover the affected channels via the per-link/per-node indexes,
+	// deduped and grouped by connection in the stamped scratch slices.
+	add := func(id rtchan.ChannelID) {
+		if !t.markChan(id) {
+			return
+		}
+		ch := m.net.Channel(id)
+		if ch == nil {
+			return
+		}
+		slot := t.connSlot(ch.Conn)
+		if ch.Role == rtchan.RolePrimary {
+			t.connPrim[slot] = true
+		} else {
+			t.connBkup[slot]++
+		}
+	}
+	for l := range f.links {
+		for _, id := range m.net.ChannelsOnLink(l) {
+			add(id)
+		}
+	}
+	for n := range f.nodes {
+		for _, id := range m.net.ChannelsAtNode(n) {
+			add(id)
+		}
+	}
+
+	needsRecovery := t.needs[:0]
+	for _, connID := range t.conns {
 		conn := m.conns[connID]
 		if conn == nil {
 			continue
@@ -241,15 +274,8 @@ func (m *Manager) Trial(f Failure, order ActivationOrder, rng *rand.Rand) Recove
 			stats.ExcludedConns++
 			continue
 		}
-		primaryHit := false
-		for _, ch := range channels {
-			if ch.Role == rtchan.RolePrimary {
-				primaryHit = true
-			} else {
-				stats.FailedBackups++
-			}
-		}
-		if primaryHit {
+		stats.FailedBackups += int(t.connBkup[connID])
+		if t.connPrim[connID] {
 			stats.FailedPrimaries++
 			stats.degree(firstDegree(conn)).FailedPrimaries++
 			needsRecovery = append(needsRecovery, conn)
@@ -257,9 +283,8 @@ func (m *Manager) Trial(f Failure, order ActivationOrder, rng *rand.Rand) Recove
 	}
 
 	needsRecovery = orderedConns(needsRecovery, order, rng)
-	claimed := make(map[topology.LinkID]float64)
 	for _, conn := range needsRecovery {
-		outcome := m.tryActivate(conn, f, claimed)
+		outcome := m.tryActivate(conn, f, t)
 		switch outcome {
 		case activated:
 			stats.FastRecovered++
@@ -270,6 +295,7 @@ func (m *Manager) Trial(f Failure, order ActivationOrder, rng *rand.Rand) Recove
 			stats.MuxFailed++
 		}
 	}
+	t.needs = needsRecovery[:0]
 	return stats
 }
 
@@ -282,8 +308,9 @@ const (
 )
 
 // tryActivate walks the connection's backups in serial order, claiming
-// spare bandwidth from the shared per-link pools recorded in claimed.
-func (m *Manager) tryActivate(conn *DConnection, f Failure, claimed map[topology.LinkID]float64) activationOutcome {
+// spare bandwidth from the shared per-link pools recorded in the trial
+// scratch.
+func (m *Manager) tryActivate(conn *DConnection, f Failure, t *trialScratch) activationOutcome {
 	bw := conn.Spec.Bandwidth
 	sawHealthy := false
 	for _, b := range conn.Backups {
@@ -295,14 +322,14 @@ func (m *Manager) tryActivate(conn *DConnection, f Failure, claimed map[topology
 		ok := true
 		for _, l := range links {
 			lm := &m.mux[l]
-			if lm.available()-claimed[l] < bw-1e-9 {
+			if lm.available()-t.claimed(l) < bw-1e-9 {
 				ok = false
 				break
 			}
 		}
 		if ok {
 			for _, l := range links {
-				claimed[l] += bw
+				t.claim(l, bw)
 			}
 			return activated
 		}
@@ -408,6 +435,7 @@ func (m *Manager) Apply(f Failure, order ActivationOrder, rng *rand.Rand) (Recov
 				}
 			}
 			delete(m.conns, conn.ID)
+			m.scache.forget(conn.ID)
 		}
 	}
 
@@ -458,11 +486,12 @@ func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched ma
 		lm := &m.mux[l]
 		// Drop the mux entry without resizing: the pool shrink happens
 		// explicitly, converting the claim into dedicated bandwidth.
-		if _, ok := lm.entries[b.ID]; ok {
+		if gone, ok := lm.entries[b.ID]; ok {
 			delete(lm.entries, b.ID)
+			lm.noteReqShrink(gone.req)
 			for _, other := range lm.entries {
-				if _, had := other.pi[b.ID]; had {
-					delete(other.pi, b.ID)
+				if other.piRemove(b.ID) {
+					lm.noteReqShrink(other.req)
 					other.req -= bw
 				}
 			}
@@ -489,6 +518,7 @@ func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched ma
 		}
 	}
 	conn.Primary = b
+	m.primaryChanged(conn)
 	// The new primary path changes every S(·,·) involving this connection:
 	// all links hosting its remaining backups must re-derive their Π sets.
 	for _, rb := range conn.Backups {
@@ -519,6 +549,7 @@ func (m *Manager) dropChannel(conn *DConnection, ch *rtchan.Channel, touched map
 		}
 	} else if conn.Primary != nil && conn.Primary.ID == ch.ID {
 		conn.Primary = nil
+		m.primaryChanged(conn)
 	}
 	return m.net.Teardown(ch.ID)
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// S(Bi,Bj) is a pure function of the two *primary* paths (§3.2), yet the
+// same connection pair meets on every link their backups share, so the
+// multiplexing engine would otherwise recompute the same value once per
+// link. sCache memoizes S per unordered connection pair. Invalidation is by
+// *primary epoch*: each connection carries a counter bumped whenever its
+// primary channel changes (promoted after recovery, demoted by a rejoin,
+// torn down, or the ID's establishment was rolled back); a cache entry is
+// valid only while both stored epochs match the connections' current ones.
+type sCache struct {
+	// entries is keyed by the packed unordered pair (lo<<32 | hi) of
+	// connection IDs. IDs are never reused, so a key uniquely names a pair
+	// for the manager's lifetime.
+	entries map[uint64]sPairVal
+	// epochs is indexed by ConnID (dense and monotonic). epochDead marks a
+	// torn-down connection, making its entries permanently stale.
+	epochs []uint64
+	// retired counts connections forgotten since the last sweep; stale
+	// pairs are garbage-collected periodically so churny workloads don't
+	// grow the cache without bound.
+	retired int
+	// admit gates writes. Only recomputeLinkMux turns it on: reconfiguration
+	// revisits the same connection pairs on every touched link, so those
+	// lookups repay memoization. The establishment path reads the cache but
+	// does not populate it — its only repeated lookups are collapsed by the
+	// per-add decision memo already, and admitting there would grow the map
+	// quadratically in connections for no reuse.
+	admit bool
+}
+
+const epochDead = ^uint64(0)
+
+type sPairVal struct {
+	epLo, epHi uint64
+	s          float64
+}
+
+func newSCache() *sCache {
+	return &sCache{entries: make(map[uint64]sPairVal)}
+}
+
+func pairKey(a, b rtchan.ConnID) uint64 {
+	lo, hi := uint64(uint32(a)), uint64(uint32(b))
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo<<32 | hi
+}
+
+// epoch returns the current primary epoch of a connection.
+func (c *sCache) epoch(id rtchan.ConnID) uint64 {
+	if int(id) >= len(c.epochs) {
+		return 0
+	}
+	return c.epochs[id]
+}
+
+// bump invalidates every cached S involving the connection by advancing its
+// primary epoch.
+func (c *sCache) bump(id rtchan.ConnID) {
+	c.grow(id)
+	c.epochs[id]++
+}
+
+func (c *sCache) grow(id rtchan.ConnID) {
+	if int(id) >= len(c.epochs) {
+		grown := make([]uint64, int(id)+1+len(c.epochs)/2)
+		copy(grown, c.epochs)
+		c.epochs = grown
+	}
+}
+
+// forget marks a torn-down connection's epoch dead. Its pair entries become
+// unreachable (IDs are never reused) and are swept once enough connections
+// have retired.
+func (c *sCache) forget(id rtchan.ConnID) {
+	c.grow(id)
+	c.epochs[id] = epochDead
+	c.retired++
+	if c.retired > 1024 {
+		c.sweep()
+	}
+}
+
+// sweep removes entries involving dead connections.
+func (c *sCache) sweep() {
+	for k := range c.entries {
+		if c.epoch(rtchan.ConnID(k>>32)) == epochDead || c.epoch(rtchan.ConnID(uint32(k))) == epochDead {
+			delete(c.entries, k)
+		}
+	}
+	c.retired = 0
+}
+
+// qpow returns the per-manager table of (1-λ)^k survival probabilities for
+// component counts up to at least n. Entries are computed with math.Pow so
+// cached S values are bit-identical to the reference
+// reliability.SimultaneousActivation formula.
+func (m *Manager) qpow(n int) []float64 {
+	if len(m.qpowTab) > n {
+		return m.qpowTab
+	}
+	grown := make([]float64, n+16)
+	q := 1 - m.cfg.Lambda
+	for k := range grown {
+		grown[k] = math.Pow(q, float64(k))
+	}
+	m.qpowTab = grown
+	return m.qpowTab
+}
+
+// simS is the manager's fast path for S(Bi,Bj) given the primary component
+// counts and their overlap: three table loads instead of three math.Pow
+// calls, numerically identical to reliability.SimultaneousActivation.
+func (m *Manager) simS(ci, cj, sc int) float64 {
+	t := m.qpow(ci + cj)
+	s := 1 - (t[ci] + t[cj] - t[ci+cj-sc])
+	if s < 0 { // clamp tiny negative round-off, as the reference does
+		return 0
+	}
+	return s
+}
+
+// pairS returns the memoized S(Bi,Bj) for backups of connections a and b.
+// Both connections must currently have a primary; the caller
+// (mutualExclusion) handles the primary-less conservative case before
+// consulting the cache.
+//
+// Storage is selective on two axes (see sCache.admit): only reconfiguration
+// lookups admit entries, and only for pairs with overlapping primaries —
+// for disjoint primaries S collapses to a function of the two component
+// counts alone and costs three table loads to recompute, so storing those
+// would bloat the map for no gain. Keeping the cache small also keeps the
+// miss probe cheap.
+func (m *Manager) pairS(a, b *DConnection) float64 {
+	k := pairKey(a.ID, b.ID)
+	epLo, epHi := m.scache.epoch(a.ID), m.scache.epoch(b.ID)
+	if a.ID > b.ID {
+		epLo, epHi = epHi, epLo
+	}
+	if v, ok := m.scache.entries[k]; ok && v.epLo == epLo && v.epHi == epHi {
+		return v.s
+	}
+	pa, pb := a.Primary.Path, b.Primary.Path
+	sc := pa.SharedComponents(pb)
+	s := m.simS(pa.NumComponents(), pb.NumComponents(), sc)
+	if m.scache.admit && sc > 0 {
+		m.scache.entries[k] = sPairVal{epLo: epLo, epHi: epHi, s: s}
+	}
+	return s
+}
+
+// primaryChanged records that conn's primary channel changed (promotion,
+// demotion, loss, or replacement): every cached S involving it is stale.
+func (m *Manager) primaryChanged(conn *DConnection) {
+	m.scache.bump(conn.ID)
+}
+
+// prospectiveS memoizes S between one candidate primary path and each
+// established connection's primary for the duration of a single
+// backup-routing search. RouteLoadAware evaluates the prospective spare
+// growth on every candidate link, and the same established connections
+// appear on many of them; the candidate has no connection ID yet, so the
+// long-lived pair cache cannot serve these lookups. Valid only while the
+// manager is not mutated (no primary changes mid-search).
+type prospectiveS struct {
+	m       *Manager
+	primary topology.Path
+	s       map[rtchan.ConnID]float64
+}
+
+func (m *Manager) newProspectiveS(primary topology.Path) *prospectiveS {
+	return &prospectiveS{m: m, primary: primary, s: make(map[rtchan.ConnID]float64)}
+}
+
+// forConn returns S(candidate, conn's primary), memoized per connection.
+// conn must have a primary.
+func (p *prospectiveS) forConn(conn *DConnection) float64 {
+	if s, ok := p.s[conn.ID]; ok {
+		return s
+	}
+	pp := conn.Primary.Path
+	s := p.m.simS(p.primary.NumComponents(), pp.NumComponents(), p.primary.SharedComponents(pp))
+	p.s[conn.ID] = s
+	return s
+}
+
+// referenceS recomputes S for a pair from first principles; CheckMuxInvariants
+// uses it to validate the cache against the reference formula.
+func (m *Manager) referenceS(a, b *DConnection) float64 {
+	return reliability.SimultaneousActivation(
+		m.cfg.Lambda,
+		a.Primary.Path.NumComponents(),
+		b.Primary.Path.NumComponents(),
+		a.Primary.Path.SharedComponents(b.Primary.Path),
+	)
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// overlappingPair establishes two connections whose primaries overlap (so
+// their S is cacheable) and whose backups share link 4->5 (so the pair meets
+// in that link's mux state).
+func overlappingPair(t *testing.T) (*Manager, *topology.Graph, *DConnection, *DConnection) {
+	t.Helper()
+	g, path := mesh3(t)
+	m := newTestManager(g)
+	a, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
+		[]topology.Path{path(0, 3, 4, 5, 2)}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstablishOnPaths(spec1(), path(1, 2, 5),
+		[]topology.Path{path(1, 4, 5)}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g, a, b
+}
+
+func TestSCachePromotionInvalidatesPair(t *testing.T) {
+	m, g, a, b := overlappingPair(t)
+	// Populate the pair cache the way production code does: a link
+	// reconfiguration recomputes S for every entry pair on the link.
+	if err := m.recomputeLinkMux(g.LinkBetween(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	k := pairKey(a.ID, b.ID)
+	v, ok := m.scache.entries[k]
+	if !ok {
+		t.Fatal("recomputeLinkMux did not populate the S-cache")
+	}
+	oldS := v.s
+	if want := m.referenceS(a, b); oldS != want {
+		t.Fatalf("cached S = %g, reference %g", oldS, want)
+	}
+	epBefore := m.scache.epoch(a.ID)
+
+	// Fail a's primary: recovery promotes the backup, changing a's primary
+	// path — every cached S involving a must become stale.
+	if _, err := m.Apply(SingleLink(g.LinkBetween(0, 1)), OrderByConn, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Primary == nil || a.Primary.Path.String() != "0->3->4->5->2" {
+		t.Fatalf("promotion did not happen: primary %v", a.Primary)
+	}
+	if ep := m.scache.epoch(a.ID); ep <= epBefore {
+		t.Fatalf("promotion did not bump a's primary epoch: %d -> %d", epBefore, ep)
+	}
+	// The invariant checker must not compare the stale entry...
+	if err := m.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a fresh lookup recomputes with the new primary.
+	newS := m.pairS(a, b)
+	if want := m.referenceS(a, b); newS != want {
+		t.Fatalf("post-promotion S = %g, reference %g", newS, want)
+	}
+	if newS == oldS {
+		t.Fatal("test is vacuous: promotion left S unchanged")
+	}
+}
+
+func TestSCacheRejoinDemotionBumpsEpoch(t *testing.T) {
+	g, path := mesh3(t)
+	m := newTestManager(g)
+	conn, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
+		[]topology.Path{path(0, 3, 4, 5, 2)}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A still-listed primary rejoining as a backup leaves the connection
+	// primary-less: its cached S values are based on a path it no longer has.
+	epBefore := m.scache.epoch(conn.ID)
+	if err := m.RestoreAsBackup(conn.ID, conn.Primary.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Primary != nil {
+		t.Fatal("rejoining primary should leave the connection primary-less")
+	}
+	if ep := m.scache.epoch(conn.ID); ep <= epBefore {
+		t.Fatalf("demotion did not bump the primary epoch: %d -> %d", epBefore, ep)
+	}
+	if err := m.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCacheRejectedEstablishmentBumpsEpoch(t *testing.T) {
+	// A rejected establishment rolls back without consuming the connection
+	// ID; the next attempt reuses it with a different primary, so the undo
+	// path must advance the epoch.
+	g, path := mesh3(t)
+	m := newTestManager(g)
+	id := m.nextConn
+	epBefore := m.scache.epoch(id)
+	_, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
+		[]topology.Path{path(3, 4, 5)}, []int{1}) // endpoints mismatch -> reject
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+	if ep := m.scache.epoch(id); ep <= epBefore {
+		t.Fatalf("rollback did not bump the reused ID's epoch: %d -> %d", epBefore, ep)
+	}
+}
+
+func TestSCacheTeardownForgetsAndSweeps(t *testing.T) {
+	m, g, a, b := overlappingPair(t)
+	if err := m.recomputeLinkMux(g.LinkBetween(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.scache.entries) == 0 {
+		t.Fatal("cache not populated")
+	}
+	if err := m.Teardown(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ep := m.scache.epoch(a.ID); ep != epochDead {
+		t.Fatalf("teardown left epoch %d, want dead marker", ep)
+	}
+	// Pairs of a dead connection are unreachable; a sweep removes them.
+	m.scache.sweep()
+	if _, ok := m.scache.entries[pairKey(a.ID, b.ID)]; ok {
+		t.Fatal("sweep kept a dead connection's pair")
+	}
+	if err := m.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCacheValuesBitIdentical(t *testing.T) {
+	// The fast path (power table) must agree with the reference formula to
+	// the bit, since CheckMuxInvariants compares at 1e-15.
+	g, path := mesh3(t)
+	m := newTestManager(g)
+	a, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
+		[]topology.Path{path(0, 3, 4, 5, 2)}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstablishOnPaths(spec1(), path(0, 1, 2, 5),
+		[]topology.Path{path(0, 3, 4, 5)}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.pairS(a, b)
+	want := m.referenceS(a, b)
+	if got != want || math.Signbit(got) != math.Signbit(want) {
+		t.Fatalf("fast S = %v, reference %v", got, want)
+	}
+	if _, err := m.Establish(6, 8, rtchan.DefaultSpec(), []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckMuxInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,14 @@ type Options struct {
 	// DoubleNodeSample limits the double-node sweep to this many sampled
 	// pairs (0 = exhaustive: all N·(N-1)/2 pairs).
 	DoubleNodeSample int
+	// Workers sets the worker-pool size for failure sweeps: each worker
+	// builds its own manager (establishment is deterministic, so every
+	// worker sees identical state) and trials are fanned out across the
+	// pool. 0 or 1 runs serially; negative uses GOMAXPROCS. Results are
+	// identical to a serial run except under OrderRandom, which falls back
+	// to serial because its activation shuffles consume one rng sequence
+	// across trials.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -139,17 +147,26 @@ func Sweep(t Trialer, failures []core.Failure, opts Options) SweepResult {
 	if opts.Order == core.OrderRandom {
 		rng = rand.New(rand.NewSource(opts.Seed))
 	}
+	stats := make([]core.RecoveryStats, len(failures))
+	for i, f := range failures {
+		stats[i] = t.Trial(f, opts.Order, rng)
+	}
+	return foldStats(stats)
+}
+
+// foldStats aggregates per-trial stats in slice order, so a parallel sweep
+// that stores results by trial index folds to exactly the serial result.
+func foldStats(stats []core.RecoveryStats) SweepResult {
 	var r metrics.Ratio
 	byDeg := make(map[int]*metrics.Ratio)
 	var failedP, failedB, muxF, dead metrics.Mean
-	for _, f := range failures {
-		stats := t.Trial(f, opts.Order, rng)
-		r.Add(float64(stats.FastRecovered), float64(stats.FailedPrimaries))
-		failedP.Add(float64(stats.FailedPrimaries))
-		failedB.Add(float64(stats.FailedBackups))
-		muxF.Add(float64(stats.MuxFailed))
-		dead.Add(float64(stats.BackupDead))
-		for alpha, d := range stats.ByDegree {
+	for _, s := range stats {
+		r.Add(float64(s.FastRecovered), float64(s.FailedPrimaries))
+		failedP.Add(float64(s.FailedPrimaries))
+		failedB.Add(float64(s.FailedBackups))
+		muxF.Add(float64(s.MuxFailed))
+		dead.Add(float64(s.BackupDead))
+		for alpha, d := range s.ByDegree {
 			rr := byDeg[alpha]
 			if rr == nil {
 				rr = &metrics.Ratio{}
@@ -159,7 +176,7 @@ func Sweep(t Trialer, failures []core.Failure, opts Options) SweepResult {
 		}
 	}
 	out := SweepResult{
-		Trials:               len(failures),
+		Trials:               len(stats),
 		RFast:                r.Value(),
 		ByDegree:             make(map[int]float64, len(byDeg)),
 		MeanFailedPrimaries:  failedP.Value(),

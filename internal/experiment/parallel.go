@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rtcl/bcp/internal/core"
+)
+
+// workerCount resolves Options.Workers to an actual pool size.
+func (o Options) workerCount() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// sweepJob addresses one trial in a flattened batch of failure lists.
+type sweepJob struct {
+	set, idx int
+}
+
+// sweepMany evaluates several failure lists against one logical trialer,
+// returning one SweepResult per list. With opts.Workers > 1 the trials are
+// fanned out over a worker pool; every worker calls build() for a private
+// Trialer, because a Manager's Trial reuses per-manager scratch buffers and
+// must not run concurrently with itself. Establishment is deterministic (no
+// randomized tie-breaking in the evaluation setups), so each worker's build
+// reaches identical state, and results are stored by trial index and folded
+// in list order — the output is bit-identical to a serial run.
+//
+// OrderRandom sweeps always run serially: their activation shuffles draw
+// from a single seeded rng sequence across trials, which a pool would split.
+func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []SweepResult {
+	workers := opts.workerCount()
+	total := 0
+	for _, fs := range sets {
+		total += len(fs)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 || opts.Order == core.OrderRandom {
+		t := build()
+		out := make([]SweepResult, len(sets))
+		for i, fs := range sets {
+			out[i] = Sweep(t, fs, opts)
+		}
+		return out
+	}
+
+	jobs := make([]sweepJob, 0, total)
+	stats := make([][]core.RecoveryStats, len(sets))
+	for si, fs := range sets {
+		stats[si] = make([]core.RecoveryStats, len(fs))
+		for fi := range fs {
+			jobs = append(jobs, sweepJob{set: si, idx: fi})
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := build()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(len(jobs)) {
+					return
+				}
+				job := jobs[j]
+				stats[job.set][job.idx] = t.Trial(sets[job.set][job.idx], opts.Order, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]SweepResult, len(sets))
+	for i := range sets {
+		out[i] = foldStats(stats[i])
+	}
+	return out
+}
+
+// reusableBuild wraps a trialer the caller has already built (for the
+// establishment-side metrics) so the first build() call returns it instead
+// of constructing another; later calls — concurrent, from other workers —
+// fall through to fresh builds.
+func reusableBuild(first Trialer, build func() Trialer) func() Trialer {
+	var taken atomic.Bool
+	return func() Trialer {
+		if taken.CompareAndSwap(false, true) {
+			return first
+		}
+		return build()
+	}
+}

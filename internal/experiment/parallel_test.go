@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// TestParallelSweepMatchesSerial runs a full Table 1 column serially and
+// with a worker pool; the rendered table must be byte-identical — the pool
+// only changes who executes a trial, never the trial set, its inputs, or
+// the fold order.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload")
+	}
+	opts := DefaultOptions()
+	opts.Seed = 42
+	opts.DoubleNodeSample = 64
+
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 4
+
+	want := RunTable1(Torus8x8, 1, []int{3}, serial).Render()
+	got := RunTable1(Torus8x8, 1, []int{3}, parallel).Render()
+	if want != got {
+		t.Fatalf("parallel table differs from serial:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestParallelSweepSmall exercises the worker pool on a small network in
+// short mode, so `go test -race` covers the fan-out/fold machinery cheaply.
+func TestParallelSweepSmall(t *testing.T) {
+	build := func() Trialer {
+		g := topology.NewMesh(4, 4, 50)
+		m := core.NewManager(g, core.DefaultConfig())
+		n := g.NumNodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					_, _ = m.Establish(topology.NodeID(s), topology.NodeID(d),
+						rtchan.DefaultSpec(), []int{3})
+				}
+			}
+		}
+		return m
+	}
+	g := topology.NewMesh(4, 4, 50)
+	sets := [][]core.Failure{
+		AllSingleLinkFailures(g),
+		AllSingleNodeFailures(g),
+	}
+
+	serial := sweepMany(build, sets, Options{Workers: 1})
+	pooled := sweepMany(build, sets, Options{Workers: 4})
+	for i := range sets {
+		if !sweepResultsEqual(serial[i], pooled[i]) {
+			t.Fatalf("set %d: serial %+v != parallel %+v", i, serial[i], pooled[i])
+		}
+	}
+	if pooled[0].Trials != len(sets[0]) || pooled[1].Trials != len(sets[1]) {
+		t.Fatalf("trial counts wrong: %d/%d", pooled[0].Trials, pooled[1].Trials)
+	}
+}
+
+// TestParallelRandomOrderFallsBackToSerial documents the OrderRandom
+// restriction: the seeded shuffle sequence spans trials, so the pool is
+// bypassed and the result must match a plain serial sweep.
+func TestParallelRandomOrderFallsBackToSerial(t *testing.T) {
+	g := topology.NewMesh(3, 3, 20)
+	build := func() Trialer {
+		gg := topology.NewMesh(3, 3, 20)
+		m := core.NewManager(gg, core.DefaultConfig())
+		for s := 0; s < gg.NumNodes(); s++ {
+			for d := 0; d < gg.NumNodes(); d++ {
+				if s != d {
+					_, _ = m.Establish(topology.NodeID(s), topology.NodeID(d), rtchan.DefaultSpec(), []int{3})
+				}
+			}
+		}
+		return m
+	}
+	opts := Options{Order: core.OrderRandom, Seed: 7, Workers: 8}
+	sets := [][]core.Failure{AllSingleLinkFailures(g)}
+	pooled := sweepMany(build, sets, opts)
+	want := Sweep(build(), sets[0], opts)
+	if !sweepResultsEqual(pooled[0], want) {
+		t.Fatalf("OrderRandom pool result %+v != serial %+v", pooled[0], want)
+	}
+}
+
+// sweepResultsEqual compares results field-by-field (SweepResult holds a
+// map, so == is not available).
+func sweepResultsEqual(a, b SweepResult) bool {
+	if a.Trials != b.Trials || a.RFast != b.RFast ||
+		a.MeanFailedPrimaries != b.MeanFailedPrimaries ||
+		a.MeanFailedBackups != b.MeanFailedBackups ||
+		a.MeanMuxFailed != b.MeanMuxFailed ||
+		a.MeanBackupDead != b.MeanBackupDead ||
+		a.TotalFailedPrimaries != b.TotalFailedPrimaries ||
+		len(a.ByDegree) != len(b.ByDegree) {
+		return false
+	}
+	for k, v := range a.ByDegree {
+		if bv, ok := b.ByDegree[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

@@ -57,14 +57,25 @@ func runAlphaColumn(kind Kind, backups, alpha int, opts Options, brute bool) Alp
 	col.NetworkLoad = m.Network().NetworkLoad()
 	col.SpareBW = m.Network().SpareFraction()
 
-	var tr Trialer = m
-	if brute {
-		uniform := baseline.UniformSpareFromManager(m)
-		tr = baseline.NewBruteForce(m, uniform, true)
+	wrap := func(m *core.Manager) Trialer {
+		if brute {
+			return baseline.NewBruteForce(m, baseline.UniformSpareFromManager(m), true)
+		}
+		return m
 	}
-	col.OneLink = Sweep(tr, AllSingleLinkFailures(g), opts).RFast
-	col.OneNode = Sweep(tr, AllSingleNodeFailures(g), opts).RFast
-	col.TwoNodes = Sweep(tr, AllDoubleNodeFailures(g, opts.DoubleNodeSample, opts.Seed), opts).RFast
+	build := reusableBuild(wrap(m), func() Trialer {
+		w := core.NewManager(NewGraph(kind), opts.config())
+		EstablishAllPairs(w, UniformDegrees(backups, alpha))
+		return wrap(w)
+	})
+	res := sweepMany(build, [][]core.Failure{
+		AllSingleLinkFailures(g),
+		AllSingleNodeFailures(g),
+		AllDoubleNodeFailures(g, opts.DoubleNodeSample, opts.Seed),
+	}, opts)
+	col.OneLink = res[0].RFast
+	col.OneNode = res[1].RFast
+	col.TwoNodes = res[2].RFast
 	return col
 }
 
@@ -133,9 +144,19 @@ func RunTable2(kind Kind, backups int, alphas []int, opts Options) Table2Result 
 		Established: est, Rejected: rej,
 		SpareBW: m.Network().SpareFraction(),
 	}
-	res.OneLink = Sweep(m, AllSingleLinkFailures(g), opts).ByDegree
-	res.OneNode = Sweep(m, AllSingleNodeFailures(g), opts).ByDegree
-	res.TwoNodes = Sweep(m, AllDoubleNodeFailures(g, opts.DoubleNodeSample, opts.Seed), opts).ByDegree
+	build := reusableBuild(m, func() Trialer {
+		w := core.NewManager(NewGraph(kind), opts.config())
+		EstablishAllPairs(w, CyclicDegrees(backups, alphas))
+		return w
+	})
+	sw := sweepMany(build, [][]core.Failure{
+		AllSingleLinkFailures(g),
+		AllSingleNodeFailures(g),
+		AllDoubleNodeFailures(g, opts.DoubleNodeSample, opts.Seed),
+	}, opts)
+	res.OneLink = sw[0].ByDegree
+	res.OneNode = sw[1].ByDegree
+	res.TwoNodes = sw[2].ByDegree
 	return res
 }
 

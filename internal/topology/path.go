@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 )
 
@@ -26,21 +27,47 @@ type Path struct {
 
 type pathSets struct {
 	links map[LinkID]struct{}
-	nodes map[NodeID]struct{}
+	nodes map[NodeID]int // node -> position in the node sequence
+	// sortedLinks/sortedNodes support SharedComponents by linear merge
+	// intersection — cheaper than hashing for typical path lengths.
+	sortedLinks []LinkID
+	sortedNodes []NodeID
 }
 
 func buildPathSets(links []LinkID, nodes []NodeID) *pathSets {
 	ps := &pathSets{
-		links: make(map[LinkID]struct{}, len(links)),
-		nodes: make(map[NodeID]struct{}, len(nodes)),
+		links:       make(map[LinkID]struct{}, len(links)),
+		nodes:       make(map[NodeID]int, len(nodes)),
+		sortedLinks: append([]LinkID(nil), links...),
+		sortedNodes: append([]NodeID(nil), nodes...),
 	}
 	for _, l := range links {
 		ps.links[l] = struct{}{}
 	}
-	for _, n := range nodes {
-		ps.nodes[n] = struct{}{}
+	for i, n := range nodes {
+		ps.nodes[n] = i
 	}
+	slices.Sort(ps.sortedLinks)
+	slices.Sort(ps.sortedNodes)
 	return ps
+}
+
+// mergeCount returns the size of the intersection of two sorted ID slices.
+func mergeCount[T ~int32 | ~int](a, b []T) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
 }
 
 // NewPath builds a Path from a link sequence, verifying contiguity.
@@ -135,6 +162,11 @@ func (p Path) NumComponents() int {
 
 // ContainsLink reports whether the path traverses link l.
 func (p Path) ContainsLink(l LinkID) bool {
+	if p.sets != nil {
+		_, ok := p.sets.links[l]
+		return ok
+	}
+	// Zero paths carry no precomputed sets.
 	for _, x := range p.links {
 		if x == l {
 			return true
@@ -145,6 +177,10 @@ func (p Path) ContainsLink(l LinkID) bool {
 
 // ContainsNode reports whether the path visits node n (including end nodes).
 func (p Path) ContainsNode(n NodeID) bool {
+	if p.sets != nil {
+		_, ok := p.sets.nodes[n]
+		return ok
+	}
 	for _, x := range p.nodes {
 		if x == n {
 			return true
@@ -155,16 +191,18 @@ func (p Path) ContainsNode(n NodeID) bool {
 
 // ContainsInteriorNode reports whether n is an interior node of the path.
 func (p Path) ContainsInteriorNode(n NodeID) bool {
-	for _, x := range p.InteriorNodes() {
-		if x == n {
-			return true
-		}
-	}
-	return false
+	i := p.IndexOfNode(n)
+	return i > 0 && i < len(p.nodes)-1
 }
 
 // IndexOfNode returns the position of n in the node sequence, or -1.
 func (p Path) IndexOfNode(n NodeID) int {
+	if p.sets != nil {
+		if i, ok := p.sets.nodes[n]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, x := range p.nodes {
 		if x == n {
 			return i
@@ -175,28 +213,14 @@ func (p Path) IndexOfNode(n NodeID) int {
 
 // SharedComponents returns sc(p, q): the number of components (links and
 // nodes, end nodes included) common to both paths. This drives the paper's
-// simultaneous-activation probability S(Bi, Bj).
+// simultaneous-activation probability S(Bi, Bj). It merges the precomputed
+// sorted component slices — the hot inner loop of backup multiplexing.
 func (p Path) SharedComponents(q Path) int {
 	if p.IsZero() || q.IsZero() {
 		return 0
 	}
-	// Iterate the shorter path, probe the longer one's precomputed sets.
-	a, b := p, q
-	if a.Hops() > b.Hops() {
-		a, b = b, a
-	}
-	sc := 0
-	for _, l := range a.links {
-		if _, ok := b.sets.links[l]; ok {
-			sc++
-		}
-	}
-	for _, n := range a.nodes {
-		if _, ok := b.sets.nodes[n]; ok {
-			sc++
-		}
-	}
-	return sc
+	return mergeCount(p.sets.sortedLinks, q.sets.sortedLinks) +
+		mergeCount(p.sets.sortedNodes, q.sets.sortedNodes)
 }
 
 // ComponentDisjoint reports whether the two paths can serve as channels of
