@@ -22,8 +22,10 @@ verify:
 	$(GO) test -race ./...
 
 # bench records the kernel micro-benchmarks to BENCH_<LABEL>.json; set
-# COMPARE to a previous file to embed deltas.
+# COMPARE to a previous file to embed deltas. SEED fixes the workload rng
+# (DisjointPair's sampled node pairs) so runs are comparable across trees.
 LABEL ?= dev
 COMPARE ?=
+SEED ?= 1
 bench:
-	$(GO) run ./cmd/bcpbench -label $(LABEL) $(if $(COMPARE),-compare $(COMPARE))
+	$(GO) run ./cmd/bcpbench -label $(LABEL) -seed $(SEED) $(if $(COMPARE),-compare $(COMPARE))

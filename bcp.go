@@ -189,10 +189,21 @@ var (
 	SequentialDisjointPaths = routing.SequentialDisjointPaths
 	// MaxDisjointPaths is the flow-based alternative ([WHA90, SID91]).
 	MaxDisjointPaths = routing.MaxDisjointPaths
+	// NewRouter builds a reusable routing engine for one graph: all
+	// searches share its scratch arenas and SPT cache (single-threaded).
+	NewRouter = routing.NewRouter
+	// NewExclusion builds an empty component-exclusion set.
+	NewExclusion = routing.NewExclusion
 )
 
 // RoutingConstraint restricts a path search.
 type RoutingConstraint = routing.Constraint
+
+// Router is a reusable routing engine; see NewRouter.
+type Router = routing.Router
+
+// Exclusion accumulates components to avoid during disjoint routing.
+type Exclusion = routing.Exclusion
 
 // --- Workloads ------------------------------------------------------------
 

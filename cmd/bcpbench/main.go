@@ -9,16 +9,18 @@
 //	bcpbench -compare BENCH_main.json # embed a baseline and per-metric deltas
 //	bcpbench -workers 8               # also time a parallel Table 1 column
 //
-// The three kernels mirror the benchmarks in bench_test.go: the 4032-pair
-// establishment (the setup cost of every table), one establishment on a
-// loaded network, and one failure trial (the inner loop of every R_fast
-// sweep).
+// The establishment/trial kernels mirror the benchmarks in bench_test.go:
+// the 4032-pair establishment (the setup cost of every table), one
+// establishment on a loaded network, and one failure trial (the inner loop
+// of every R_fast sweep). The routing kernels (RoutingAllPairs,
+// DisjointPair) time the Router's scratch-backed searches in isolation.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"testing"
 	"time"
@@ -67,23 +69,26 @@ func main() {
 	label := flag.String("label", "pr1", "output label: results go to BENCH_<label>.json")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff against")
 	workers := flag.Int("workers", 0, "if > 1, also benchmark a parallel Table 1 column at this pool size")
+	seed := flag.Int64("seed", 1, "seed for the randomized kernel inputs (DisjointPair)")
 	flag.Parse()
 
-	// Load the baseline before measuring anything: a bad -compare path
-	// should fail in milliseconds, not after minutes of benchmarking.
+	// Resolve the baseline before measuring anything, so a bad -compare is
+	// reported in milliseconds, not after minutes of benchmarking. A
+	// missing or corrupt baseline is not fatal: the run degrades to
+	// absolute numbers (no deltas), which is what a fresh checkout or a
+	// renamed baseline file wants anyway.
 	var baseline *File
 	if *compare != "" {
-		base, err := os.ReadFile(*compare)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bcpbench: %v\n", err)
-			os.Exit(1)
+		if base, err := os.ReadFile(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "bcpbench: warning: %v; reporting absolute numbers only\n", err)
+		} else {
+			var bf File
+			if err := json.Unmarshal(base, &bf); err != nil {
+				fmt.Fprintf(os.Stderr, "bcpbench: warning: bad baseline %s: %v; reporting absolute numbers only\n", *compare, err)
+			} else {
+				baseline = &bf
+			}
 		}
-		var bf File
-		if err := json.Unmarshal(base, &bf); err != nil {
-			fmt.Fprintf(os.Stderr, "bcpbench: bad baseline %s: %v\n", *compare, err)
-			os.Exit(1)
-		}
-		baseline = &bf
 	}
 
 	var results []Result
@@ -117,6 +122,59 @@ func main() {
 		}
 	}))
 	fmt.Fprintf(os.Stderr, "SingleEstablish done\n")
+
+	// Routing kernels: the Router's scratch-backed searches on the bare
+	// torus, without establishment state. RoutingAllPairs covers every
+	// ordered pair with a cached-SPT distance lookup plus a constrained
+	// shortest-path search (4032 + 4032 queries per op).
+	g := bcp.NewTorus(8, 8, 200)
+	router := bcp.NewRouter(g)
+	results = append(results, measure("RoutingAllPairs", func(b *testing.B) {
+		n := g.NumNodes()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < n; s++ {
+				for d := 0; d < n; d++ {
+					if s == d {
+						continue
+					}
+					src, dst := bcp.NodeID(s), bcp.NodeID(d)
+					if router.Distance(src, dst) < 0 {
+						b.Fatalf("disconnected pair %d->%d", s, d)
+					}
+					if _, ok := router.ShortestLinks(src, dst, bcp.RoutingConstraint{}); !ok {
+						b.Fatalf("no path %d->%d", s, d)
+					}
+				}
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "RoutingAllPairs done\n")
+
+	// DisjointPair: one max-flow disjoint-pair search per op, over a seeded
+	// random sample of node pairs (a torus has 4 disjoint paths everywhere,
+	// so count=2 always succeeds).
+	pairRng := rand.New(rand.NewSource(*seed))
+	type pair struct{ s, d bcp.NodeID }
+	pairs := make([]pair, 64)
+	for i := range pairs {
+		s := pairRng.Intn(g.NumNodes())
+		d := pairRng.Intn(g.NumNodes())
+		if s == d {
+			d = (d + 1) % g.NumNodes()
+		}
+		pairs[i] = pair{bcp.NodeID(s), bcp.NodeID(d)}
+	}
+	results = append(results, measure("DisjointPair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if got := router.DisjointLinks(p.s, p.d, 2, bcp.RoutingConstraint{}); len(got) != 2 {
+				b.Fatalf("pair %d->%d: %d disjoint paths, want 2", p.s, p.d, len(got))
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "DisjointPair done\n")
 
 	trialMgr := loadedManager()
 	f := bcp.SingleNode(27)

@@ -65,6 +65,10 @@ func main() {
 	}
 	fmt.Printf("degree: min %d, max %d\n", minDeg, maxDeg)
 
+	// One router serves every query below: the all-pairs loops hit the
+	// SPT cache and the arena instead of allocating per call.
+	r := routing.NewRouter(g)
+
 	// Distance structure: mean and eccentricity from exhaustive BFS.
 	var sum, count, diameter int
 	for s := 0; s < g.NumNodes(); s++ {
@@ -72,7 +76,7 @@ func main() {
 			if s == d {
 				continue
 			}
-			dist := routing.Distance(g, topology.NodeID(s), topology.NodeID(d))
+			dist := r.Distance(topology.NodeID(s), topology.NodeID(d))
 			if dist < 0 {
 				fmt.Printf("disconnected: %d cannot reach %d\n", s, d)
 				os.Exit(1)
@@ -93,7 +97,7 @@ func main() {
 			if s == d {
 				continue
 			}
-			k := len(routing.MaxDisjointPaths(g, topology.NodeID(s), topology.NodeID(d), maxDeg, routing.Constraint{}))
+			k := len(r.MaxDisjointPaths(topology.NodeID(s), topology.NodeID(d), maxDeg, routing.Constraint{}))
 			hist[k]++
 		}
 	}
@@ -106,13 +110,13 @@ func main() {
 	fmt.Println()
 
 	if *src >= 0 && *dst >= 0 {
-		analyzePair(g, topology.NodeID(*src), topology.NodeID(*dst))
+		analyzePair(r, topology.NodeID(*src), topology.NodeID(*dst))
 	}
 
 	if *dot != "" {
 		var opts topology.DotOptions
 		if *src >= 0 && *dst >= 0 {
-			opts.HighlightPaths = routing.SequentialDisjointPaths(g, topology.NodeID(*src), topology.NodeID(*dst), 4, routing.Constraint{})
+			opts.HighlightPaths = r.SequentialDisjointPaths(topology.NodeID(*src), topology.NodeID(*dst), 4, routing.Constraint{})
 		}
 		out := os.Stdout
 		if *dot != "-" {
@@ -131,15 +135,15 @@ func main() {
 	}
 }
 
-func analyzePair(g *topology.Graph, src, dst topology.NodeID) {
+func analyzePair(r *routing.Router, src, dst topology.NodeID) {
 	fmt.Printf("\npair %d -> %d:\n", src, dst)
-	fmt.Printf("  shortest distance: %d hops\n", routing.Distance(g, src, dst))
+	fmt.Printf("  shortest distance: %d hops\n", r.Distance(src, dst))
 	fmt.Println("  sequential disjoint routing (the paper's method):")
-	for i, p := range routing.SequentialDisjointPaths(g, src, dst, 8, routing.Constraint{}) {
+	for i, p := range r.SequentialDisjointPaths(src, dst, 8, routing.Constraint{}) {
 		fmt.Printf("    channel %d: %v (%d hops)\n", i, p, p.Hops())
 	}
 	fmt.Println("  max-flow disjoint routing:")
-	for i, p := range routing.MaxDisjointPaths(g, src, dst, 8, routing.Constraint{}) {
+	for i, p := range r.MaxDisjointPaths(src, dst, 8, routing.Constraint{}) {
 		fmt.Printf("    channel %d: %v (%d hops)\n", i, p, p.Hops())
 	}
 }

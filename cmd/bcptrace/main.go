@@ -42,7 +42,7 @@ func main() {
 	mgr := core.NewManager(g, core.DefaultConfig())
 
 	src, dst := topology.NodeID(0), topology.NodeID(36)
-	paths := routing.SequentialDisjointPaths(g, src, dst, *backups+1, routing.Constraint{})
+	paths := mgr.Router().SequentialDisjointPaths(src, dst, *backups+1, routing.Constraint{})
 	if len(paths) < *backups+1 {
 		fmt.Fprintln(os.Stderr, "bcptrace: not enough disjoint paths")
 		os.Exit(1)

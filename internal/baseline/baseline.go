@@ -192,12 +192,15 @@ func sortConns(conns []*core.DConnection, order core.ActivationOrder, rng *rand.
 // scheme gives no guarantee and is slow — every success still pays a full
 // round of signaling, which the protocol-level experiments quantify).
 type Reestablish struct {
-	m *core.Manager
+	m      *core.Manager
+	router *routing.Router
 }
 
 // NewReestablish wraps a manager whose connections were established without
 // backups.
-func NewReestablish(m *core.Manager) *Reestablish { return &Reestablish{m: m} }
+func NewReestablish(m *core.Manager) *Reestablish {
+	return &Reestablish{m: m, router: routing.NewRouter(m.Graph())}
+}
 
 // Trial simulates post-failure re-establishment: failed primaries retry on
 // the residual topology (failed components removed) against the residual
@@ -235,7 +238,7 @@ func (r *Reestablish) Trial(f core.Failure) core.RecoveryStats {
 	taken := make(map[topology.LinkID]float64)
 	for _, conn := range needs {
 		bw := conn.Spec.Bandwidth
-		base := routing.Distance(g, conn.Src, conn.Dst)
+		base := r.router.Distance(conn.Src, conn.Dst)
 		c := routing.Constraint{
 			MaxHops: base + conn.Spec.SlackHops,
 			LinkAllowed: func(l topology.LinkID) bool {
@@ -250,7 +253,7 @@ func (r *Reestablish) Trial(f core.Failure) core.RecoveryStats {
 			},
 			NodeAllowed: func(n topology.NodeID) bool { return !f.NodeFailed(n) },
 		}
-		if p, ok := routing.ShortestPath(g, conn.Src, conn.Dst, c); ok {
+		if p, ok := r.router.ShortestPath(conn.Src, conn.Dst, c); ok {
 			for _, l := range p.Links() {
 				taken[l] += bw
 			}

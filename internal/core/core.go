@@ -126,8 +126,16 @@ type Manager struct {
 	qpowTab  []float64          // (1-λ)^k by k, backing the fast S evaluation
 	trial    trialScratch       // reusable failure-trial buffers
 	muxDec   muxDecisionScratch // per-addBackup mutualExclusion memo
-	// recomputeDone is recomputeLinkMux's pair-dedup set, allocated once.
-	recomputeDone map[rtchan.ChannelID]struct{}
+	// piMarks stamps the primary path of the backup being added, so the
+	// admission scan's shared-component counts are array loads (decideMux).
+	piMarks topology.PathMarks
+	// router owns the routing scratch arenas and the per-source SPT cache;
+	// one per manager, matching the one-manager-per-worker concurrency rule.
+	router *routing.Router
+	// estExcl is the establishment-path exclusion set, reset per use. It is
+	// shared by Establish and ReplenishBackups (never live at once); entry
+	// points that interleave with Establish keep their own (see pr.go).
+	estExcl *routing.Exclusion
 }
 
 // NewManager creates a BCP manager over an empty reservation network for g.
@@ -136,16 +144,14 @@ func NewManager(g *topology.Graph, cfg Config) *Manager {
 		panic(fmt.Sprintf("core: lambda %g out of (0,1)", cfg.Lambda))
 	}
 	m := &Manager{
-		cfg:           cfg,
-		net:           rtchan.NewNetwork(g),
-		conns:         make(map[rtchan.ConnID]*DConnection),
-		mux:           make([]linkMux, g.NumLinks()),
-		nextConn:      1,
-		scache:        newSCache(),
-		recomputeDone: make(map[rtchan.ChannelID]struct{}),
-	}
-	for i := range m.mux {
-		m.mux[i].entries = make(map[rtchan.ChannelID]*muxEntry)
+		cfg:      cfg,
+		net:      rtchan.NewNetwork(g),
+		conns:    make(map[rtchan.ConnID]*DConnection),
+		mux:      make([]linkMux, g.NumLinks()),
+		nextConn: 1,
+		scache:   newSCache(),
+		router:   routing.NewRouter(g),
+		estExcl:  routing.NewExclusion(),
 	}
 	return m
 }
@@ -159,6 +165,11 @@ func (m *Manager) Graph() *topology.Graph { return m.net.Graph() }
 
 // Config returns the manager's configuration.
 func (m *Manager) Config() Config { return m.cfg }
+
+// Router exposes the manager's routing engine. Like the manager itself it
+// is single-threaded; concurrent sweeps build one manager (and hence one
+// router) per worker.
+func (m *Manager) Router() *routing.Router { return m.router }
 
 // Connection returns the D-connection with the given id, or nil.
 func (m *Manager) Connection(id rtchan.ConnID) *DConnection { return m.conns[id] }

@@ -26,8 +26,7 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 	if spec.Bandwidth <= 0 {
 		return nil, fmt.Errorf("core: non-positive bandwidth")
 	}
-	g := m.Graph()
-	base := routing.Distance(g, src, dst)
+	base := m.router.Distance(src, dst)
 	if base < 0 {
 		return nil, fmt.Errorf("core: %d and %d are disconnected", src, dst)
 	}
@@ -77,7 +76,7 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 	conn.Primary = prim
 
 	// Route and admit the backups.
-	excl := routing.NewExclusion()
+	excl := m.estExcl.Reset()
 	excl.AddPath(pPath)
 	for i, alpha := range degrees {
 		bPath, ok := m.routeBackup(src, dst, spec.Bandwidth, alpha, pPath, excl)
@@ -107,7 +106,7 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 
 // routePrimary finds a shortest feasible path for a primary channel.
 func (m *Manager) routePrimary(src, dst topology.NodeID, bw float64, maxHops int) (topology.Path, bool) {
-	return routing.ShortestPath(m.Graph(), src, dst, m.constraintForPrimary(bw, maxHops))
+	return m.router.ShortestPath(src, dst, m.constraintForPrimary(bw, maxHops))
 }
 
 // routeBackup finds a feasible path for a backup channel avoiding excl.
@@ -116,7 +115,6 @@ func (m *Manager) routePrimary(src, dst topology.NodeID, bw float64, maxHops int
 // happens at addBackup time. alpha and primary feed the load-aware weight
 // when RouteLoadAware is configured.
 func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, primary topology.Path, excl *routing.Exclusion) (topology.Path, bool) {
-	g := m.Graph()
 	feasible := routing.Constraint{
 		TieBreak: m.cfg.TieBreak,
 		LinkAllowed: func(l topology.LinkID) bool {
@@ -125,7 +123,7 @@ func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, p
 	}
 	c := excl.Constrain(feasible)
 	if m.cfg.BackupRouting == RouteMaxFlow {
-		paths := routing.MaxDisjointPaths(g, src, dst, 1, c)
+		paths := m.router.MaxDisjointPaths(src, dst, 1, c)
 		if len(paths) == 0 {
 			return topology.Path{}, false
 		}
@@ -134,10 +132,11 @@ func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, p
 	if m.cfg.BackupSlackHops >= 0 {
 		// QoS bound for the backup: after activation it carries the primary
 		// traffic, so its length is bounded relative to the shortest
-		// disjoint path regardless of current bandwidth availability.
+		// disjoint path regardless of current bandwidth availability. Only
+		// the length is needed, so skip the backtrack and materialization.
 		unconstrained := excl.Constrain(routing.Constraint{})
-		if bp, ok := routing.ShortestPath(g, src, dst, unconstrained); ok {
-			c.MaxHops = bp.Hops() + m.cfg.BackupSlackHops
+		if hops := m.router.ShortestDistance(src, dst, unconstrained); hops >= 0 {
+			c.MaxHops = hops + m.cfg.BackupSlackHops
 		}
 	}
 	if m.cfg.BackupRouting == RouteLoadAware && !primary.IsZero() {
@@ -149,12 +148,12 @@ func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, p
 		w := func(l topology.LinkID) float64 {
 			return 0.05*bw + m.prospectiveSpareIncrease(l, ps, bw, nu)
 		}
-		if p, ok := routing.MinCostPath(g, src, dst, c, w); ok {
+		if p, ok := m.router.MinCostPath(src, dst, c, w); ok {
 			return p, true
 		}
 		// Fall through to shortest-path if the weighted search fails.
 	}
-	return routing.ShortestPath(g, src, dst, c)
+	return m.router.ShortestPath(src, dst, c)
 }
 
 // EstablishOnPaths sets up a D-connection over explicitly chosen paths,
@@ -236,7 +235,7 @@ func (m *Manager) ReplenishBackups(id rtchan.ConnID, target, alpha int, avoid fu
 	}
 	added := 0
 	for len(conn.Backups) < target {
-		excl := routing.NewExclusion()
+		excl := m.estExcl.Reset()
 		excl.AddPath(conn.Primary.Path)
 		for _, b := range conn.Backups {
 			excl.AddPath(b.Path)

@@ -42,8 +42,14 @@ func (e *muxEntry) piRemove(id rtchan.ChannelID) bool {
 // linkMux is one link's multiplexing state. The link's spare reservation is
 // the maximum requirement over its entries; activation claims draw the pool
 // down temporarily until reconfiguration.
+//
+// Entries live in a flat value slice, not a map: the admission scan in
+// addBackupToLink walks every entry once per link of every new backup —
+// the hottest loop of establishment — and a contiguous scan beats map
+// iteration there. Lookups by channel ID (teardown, promotion, Ψ metrics)
+// are rare and linear-scan over tens of entries.
 type linkMux struct {
-	entries map[rtchan.ChannelID]*muxEntry
+	entries []muxEntry
 	spare   float64 // committed spare reservation (mirrors rtchan account)
 	claimed float64 // drawn by activations since the last reconfiguration
 	// claims tracks protocol-mode activation claims by channel, so the
@@ -58,14 +64,33 @@ type linkMux struct {
 	reqDirty bool
 }
 
+// find returns the index of the entry for channel id, or -1.
+func (lm *linkMux) find(id rtchan.ChannelID) int {
+	for i := range lm.entries {
+		if lm.entries[i].ch.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt swap-deletes the entry at index i, zeroing the vacated slot so
+// its pi slice and pointers are released.
+func (lm *linkMux) removeAt(i int) {
+	last := len(lm.entries) - 1
+	lm.entries[i] = lm.entries[last]
+	lm.entries[last] = muxEntry{}
+	lm.entries = lm.entries[:last]
+}
+
 // requiredSpare returns the max requirement over entries, rescanning only
 // when a removal invalidated the cached value.
 func (lm *linkMux) requiredSpare() float64 {
 	if lm.reqDirty {
 		var max float64
-		for _, e := range lm.entries {
-			if e.req > max {
-				max = e.req
+		for i := range lm.entries {
+			if lm.entries[i].req > max {
+				max = lm.entries[i].req
 			}
 		}
 		lm.maxReq = max
@@ -172,13 +197,40 @@ func (d *muxDecisionScratch) store(id rtchan.ChannelID, newInE, eInNew bool) {
 	d.eInNew[id] = eInNew
 }
 
+// decideMux is the admission-scan fast path of mutualExclusion: the backup
+// being added has its primary's components stamped in m.piMarks (see
+// addBackup), so the shared-component count per peer is a handful of array
+// loads instead of a sorted merge, and the pair cache is bypassed entirely
+// (establishment-time pairs never repay storage; see sCache.admit). The
+// decision formula is identical to mutualExclusion with a=e, b=entry.
+func (m *Manager) decideMux(e, entry *muxEntry) (eCountsNew, newCountsE bool) {
+	if e.conn.ID == entry.conn.ID {
+		return true, true
+	}
+	pe := e.conn.Primary
+	if pe == nil || entry.conn.Primary == nil {
+		// Conservative treatment for a momentarily primary-less connection,
+		// as in mutualExclusion.
+		return true, true
+	}
+	sc := m.piMarks.Shared(pe.Path)
+	s := m.simS(pe.Path.NumComponents(), entry.conn.Primary.Path.NumComponents(), sc)
+	if m.cfg.DisablePiDegreeRestriction {
+		return s >= e.nu, s >= entry.nu
+	}
+	eCountsNew = entry.nu <= e.nu && s >= e.nu
+	newCountsE = e.nu <= entry.nu && s >= entry.nu
+	return eCountsNew, newCountsE
+}
+
 // addBackupToLink registers backup ch on link l and resizes the link's spare
 // pool, enforcing the capacity invariant. On failure the link state is
-// unchanged.
+// unchanged. Must run inside an addBackup call: the decision fast path
+// reads the primary stamp addBackup set up.
 func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtchan.Channel, alpha int) error {
 	lm := &m.mux[l]
 	bw := ch.Bandwidth()
-	entry := &muxEntry{
+	entry := muxEntry{
 		ch:    ch,
 		conn:  conn,
 		alpha: alpha,
@@ -191,14 +243,15 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 	// Tentatively wire the new entry into the Π structure. No undo log is
 	// kept: the rare rollback below reconstructs the growth by scanning for
 	// Π memberships, exactly as removeBackupFromLink does.
-	for _, e := range lm.entries {
+	for i := range lm.entries {
+		e := &lm.entries[i]
 		var newInE, eInNew bool
 		hit := false
 		if memo {
 			newInE, eInNew, hit = m.muxDec.lookup(e.ch.ID)
 		}
 		if !hit {
-			newInE, eInNew = m.mutualExclusion(e, entry)
+			newInE, eInNew = m.decideMux(e, &entry)
 			if memo {
 				m.muxDec.store(e.ch.ID, newInE, eInNew)
 			}
@@ -213,14 +266,15 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 			entry.req += e.ch.Bandwidth()
 		}
 	}
-	lm.entries[ch.ID] = entry
+	lm.entries = append(lm.entries, entry)
 	lm.noteReq(entry.req)
 	need := lm.requiredSpare()
 	if need > lm.spare {
 		if err := m.net.SetSpare(l, need); err != nil {
 			// Roll back. The undone growth may have held the cached max.
-			delete(lm.entries, ch.ID)
-			for _, e := range lm.entries {
+			lm.removeAt(len(lm.entries) - 1)
+			for i := range lm.entries {
+				e := &lm.entries[i]
 				if e.piRemove(ch.ID) {
 					e.req -= bw
 				}
@@ -237,14 +291,15 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 // spare pool if possible. Shrinking cannot fail.
 func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
 	lm := &m.mux[l]
-	gone, ok := lm.entries[ch.ID]
-	if !ok {
+	idx := lm.find(ch.ID)
+	if idx < 0 {
 		return
 	}
-	delete(lm.entries, ch.ID)
-	lm.noteReqShrink(gone.req)
+	lm.noteReqShrink(lm.entries[idx].req)
+	lm.removeAt(idx)
 	bw := ch.Bandwidth()
-	for _, e := range lm.entries {
+	for i := range lm.entries {
+		e := &lm.entries[i]
 		if e.piRemove(ch.ID) {
 			lm.noteReqShrink(e.req)
 			e.req -= bw
@@ -266,6 +321,12 @@ func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
 // addBackup registers a backup on every link of its path, transactionally.
 func (m *Manager) addBackup(conn *DConnection, ch *rtchan.Channel, alpha int) error {
 	m.muxDec.begin(ch.ID)
+	if conn.Primary != nil {
+		// Stamp the primary's components once; decideMux then counts each
+		// peer primary's overlap with array loads (a primary-less conn —
+		// mid-recovery rejoin — never reaches the stamp; see decideMux).
+		m.piMarks.Set(conn.Primary.Path)
+	}
 	links := ch.Path.Links()
 	for i, l := range links {
 		if err := m.addBackupToLink(l, conn, ch, alpha); err != nil {
@@ -293,11 +354,11 @@ func (m *Manager) PsiSizes(ch *rtchan.Channel) []int {
 	out := make([]int, len(links))
 	for i, l := range links {
 		lm := &m.mux[l]
-		e, ok := lm.entries[ch.ID]
-		if !ok {
+		idx := lm.find(ch.ID)
+		if idx < 0 {
 			continue
 		}
-		psi := len(lm.entries) - len(e.pi) - 1
+		psi := len(lm.entries) - len(lm.entries[idx].pi) - 1
 		if psi < 0 {
 			psi = 0
 		}
@@ -321,7 +382,8 @@ func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, ps *prospectiveS, 
 	lm := &m.mux[l]
 	newReq := bw
 	maxGrown := 0.0
-	for _, e := range lm.entries {
+	for i := range lm.entries {
+		e := &lm.entries[i]
 		if e.conn.Primary == nil {
 			continue
 		}
@@ -352,38 +414,31 @@ func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, ps *prospectiveS, 
 // primary path changes every S involving that connection).
 func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 	lm := &m.mux[l]
-	for _, e := range lm.entries {
+	for i := range lm.entries {
+		e := &lm.entries[i]
 		e.pi = e.pi[:0] // reuse the allocated slice instead of reallocating
 		e.req = e.ch.Bandwidth()
 	}
-	// Deterministic pair iteration order is unnecessary: the result is
-	// order-independent (pure function of the entry set). The dedup set is
-	// a Manager-level scratch map, cleared on entry.
-	done := m.recomputeDone
-	clear(done)
 	// Reconfiguration touches many links sharing the same connection pairs;
 	// let their S values populate the pair cache.
 	m.scache.admit = true
 	defer func() { m.scache.admit = false }()
-	for ida, a := range lm.entries {
-		for idb, b := range lm.entries {
-			if ida == idb {
-				continue
-			}
-			if _, seen := done[idb]; seen {
-				continue
-			}
+	// Each unordered entry pair once; the result is order-independent (a
+	// pure function of the entry set).
+	for i := range lm.entries {
+		a := &lm.entries[i]
+		for j := i + 1; j < len(lm.entries); j++ {
+			b := &lm.entries[j]
 			aCountsB, bCountsA := m.mutualExclusion(a, b)
 			if aCountsB {
-				a.pi = append(a.pi, idb)
+				a.pi = append(a.pi, b.ch.ID)
 				a.req += b.ch.Bandwidth()
 			}
 			if bCountsA {
-				b.pi = append(b.pi, ida)
+				b.pi = append(b.pi, a.ch.ID)
 				b.req += a.ch.Bandwidth()
 			}
 		}
-		done[ida] = struct{}{}
 	}
 	lm.reqDirty = true // rebuilt from scratch; rescan the fresh requirements
 	need := math.Max(lm.requiredSpare(), lm.claimed)
@@ -403,9 +458,9 @@ func (m *Manager) CheckMuxInvariants() error {
 		lm := &m.mux[l]
 		if !lm.reqDirty {
 			var max float64
-			for _, e := range lm.entries {
-				if e.req > max {
-					max = e.req
+			for i := range lm.entries {
+				if lm.entries[i].req > max {
+					max = lm.entries[i].req
 				}
 			}
 			if math.Abs(max-lm.maxReq) > 1e-9 {
@@ -418,9 +473,12 @@ func (m *Manager) CheckMuxInvariants() error {
 		if got := m.net.Spare(topology.LinkID(l)); math.Abs(got-lm.spare) > 1e-6 {
 			return fmt.Errorf("core: link %d spare mirror drift: mux=%g rtchan=%g", l, lm.spare, got)
 		}
-		for id, e := range lm.entries {
-			if e.ch.ID != id {
-				return fmt.Errorf("core: link %d entry id mismatch", l)
+		for ei := range lm.entries {
+			e := &lm.entries[ei]
+			id := e.ch.ID
+			// Entries must be unique per channel (find returns the first).
+			if lm.find(id) != ei {
+				return fmt.Errorf("core: link %d has duplicate entries for channel %d", l, id)
 			}
 			want := e.ch.Bandwidth()
 			for i, peer := range e.pi {
@@ -431,10 +489,11 @@ func (m *Manager) CheckMuxInvariants() error {
 						return fmt.Errorf("core: link %d entry %d lists peer %d twice", l, id, peer)
 					}
 				}
-				pe, ok := lm.entries[peer]
-				if !ok {
+				pi := lm.find(peer)
+				if pi < 0 {
 					return fmt.Errorf("core: link %d entry %d references absent peer %d", l, id, peer)
 				}
+				pe := &lm.entries[pi]
 				want += pe.ch.Bandwidth()
 				// The ν-ordering rule applies between connections that both
 				// have primaries; a primary-less connection (mid-recovery

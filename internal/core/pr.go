@@ -47,7 +47,8 @@ func (m *Manager) prospectivePsiSizes(primary, bPath topology.Path, alpha int) [
 	for i, l := range links {
 		lm := &m.mux[l]
 		psi := 0
-		for _, e := range lm.entries {
+		for ei := range lm.entries {
+			e := &lm.entries[ei]
 			s := reliability.SimultaneousActivation(
 				m.cfg.Lambda,
 				primary.NumComponents(),

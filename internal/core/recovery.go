@@ -486,10 +486,11 @@ func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched ma
 		lm := &m.mux[l]
 		// Drop the mux entry without resizing: the pool shrink happens
 		// explicitly, converting the claim into dedicated bandwidth.
-		if gone, ok := lm.entries[b.ID]; ok {
-			delete(lm.entries, b.ID)
-			lm.noteReqShrink(gone.req)
-			for _, other := range lm.entries {
+		if idx := lm.find(b.ID); idx >= 0 {
+			lm.noteReqShrink(lm.entries[idx].req)
+			lm.removeAt(idx)
+			for i := range lm.entries {
+				other := &lm.entries[i]
 				if other.piRemove(b.ID) {
 					lm.noteReqShrink(other.req)
 					other.req -= bw

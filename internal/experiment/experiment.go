@@ -42,7 +42,10 @@ type Options struct {
 	Lambda float64
 	// Order is the activation contention order (default OrderByConn).
 	Order core.ActivationOrder
-	// Seed drives randomized activation ordering (OrderRandom).
+	// Seed drives randomized activation ordering (OrderRandom). Each trial
+	// derives its own rng from (Seed, trial index) — see trialRNG — so the
+	// shuffle a trial sees does not depend on which trials ran before it or
+	// on which worker executes it.
 	Seed int64
 	// DoubleNodeSample limits the double-node sweep to this many sampled
 	// pairs (0 = exhaustive: all N·(N-1)/2 pairs).
@@ -51,9 +54,8 @@ type Options struct {
 	// builds its own manager (establishment is deterministic, so every
 	// worker sees identical state) and trials are fanned out across the
 	// pool. 0 or 1 runs serially; negative uses GOMAXPROCS. Results are
-	// identical to a serial run except under OrderRandom, which falls back
-	// to serial because its activation shuffles consume one rng sequence
-	// across trials.
+	// identical to a serial run for every activation order, including
+	// OrderRandom (per-trial rng derivation).
 	Workers int
 }
 
@@ -143,15 +145,33 @@ type SweepResult struct {
 // R_fast as total-fast / total-failed across trials (the paper's ratio of
 // fast recoveries to failed primary channels).
 func Sweep(t Trialer, failures []core.Failure, opts Options) SweepResult {
-	var rng *rand.Rand
-	if opts.Order == core.OrderRandom {
-		rng = rand.New(rand.NewSource(opts.Seed))
-	}
 	stats := make([]core.RecoveryStats, len(failures))
 	for i, f := range failures {
-		stats[i] = t.Trial(f, opts.Order, rng)
+		stats[i] = t.Trial(f, opts.Order, opts.trialRNG(i))
 	}
 	return foldStats(stats)
+}
+
+// trialRNG returns the activation-shuffle rng for the trial-th failure of a
+// sweep, or nil for deterministic orders. The seed is derived from
+// (Options.Seed, trial) so every trial owns an independent stream: a worker
+// pool can run trials in any order, on any worker, and still shuffle each
+// trial exactly as a serial sweep would.
+func (o Options) trialRNG(trial int) *rand.Rand {
+	if o.Order != core.OrderRandom {
+		return nil
+	}
+	return rand.New(rand.NewSource(trialSeed(o.Seed, trial)))
+}
+
+// trialSeed mixes a sweep seed and a trial index into a well-spread 64-bit
+// stream seed (splitmix64 finalizer). Sequential trial indices under
+// rand.NewSource would otherwise yield correlated low bits.
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(trial+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // foldStats aggregates per-trial stats in slice order, so a parallel sweep

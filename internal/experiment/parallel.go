@@ -30,8 +30,9 @@ type sweepJob struct {
 // reaches identical state, and results are stored by trial index and folded
 // in list order — the output is bit-identical to a serial run.
 //
-// OrderRandom sweeps always run serially: their activation shuffles draw
-// from a single seeded rng sequence across trials, which a pool would split.
+// OrderRandom sweeps parallelize too: each trial derives its shuffle rng
+// from (Options.Seed, trial index) — see Options.trialRNG — so the shuffle
+// is a function of the trial alone, not of the execution schedule.
 func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []SweepResult {
 	workers := opts.workerCount()
 	total := 0
@@ -41,7 +42,7 @@ func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []Swee
 	if workers > total {
 		workers = total
 	}
-	if workers <= 1 || opts.Order == core.OrderRandom {
+	if workers <= 1 {
 		t := build()
 		out := make([]SweepResult, len(sets))
 		for i, fs := range sets {
@@ -72,7 +73,7 @@ func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []Swee
 					return
 				}
 				job := jobs[j]
-				stats[job.set][job.idx] = t.Trial(sets[job.set][job.idx], opts.Order, nil)
+				stats[job.set][job.idx] = t.Trial(sets[job.set][job.idx], opts.Order, opts.trialRNG(job.idx))
 			}
 		}()
 	}

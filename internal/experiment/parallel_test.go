@@ -67,10 +67,12 @@ func TestParallelSweepSmall(t *testing.T) {
 	}
 }
 
-// TestParallelRandomOrderFallsBackToSerial documents the OrderRandom
-// restriction: the seeded shuffle sequence spans trials, so the pool is
-// bypassed and the result must match a plain serial sweep.
-func TestParallelRandomOrderFallsBackToSerial(t *testing.T) {
+// TestParallelRandomOrderMatchesSerial verifies that OrderRandom sweeps use
+// the pool and still reproduce the serial result: each trial's shuffle rng
+// is derived from (Seed, trial index), so the schedule cannot leak into the
+// tables. Two different pool widths must agree with the serial sweep and
+// with each other.
+func TestParallelRandomOrderMatchesSerial(t *testing.T) {
 	g := topology.NewMesh(3, 3, 20)
 	build := func() Trialer {
 		gg := topology.NewMesh(3, 3, 20)
@@ -84,12 +86,22 @@ func TestParallelRandomOrderFallsBackToSerial(t *testing.T) {
 		}
 		return m
 	}
-	opts := Options{Order: core.OrderRandom, Seed: 7, Workers: 8}
 	sets := [][]core.Failure{AllSingleLinkFailures(g)}
-	pooled := sweepMany(build, sets, opts)
+	opts := Options{Order: core.OrderRandom, Seed: 7}
 	want := Sweep(build(), sets[0], opts)
-	if !sweepResultsEqual(pooled[0], want) {
-		t.Fatalf("OrderRandom pool result %+v != serial %+v", pooled[0], want)
+	for _, workers := range []int{2, 8} {
+		o := opts
+		o.Workers = workers
+		pooled := sweepMany(build, sets, o)
+		if !sweepResultsEqual(pooled[0], want) {
+			t.Fatalf("OrderRandom pool (workers=%d) result %+v != serial %+v", workers, pooled[0], want)
+		}
+	}
+	// A different seed must change the shuffle streams (sanity check that
+	// the per-trial derivation actually feeds Trial).
+	reseeded := Sweep(build(), sets[0], Options{Order: core.OrderRandom, Seed: 8})
+	if reseeded.Trials != want.Trials {
+		t.Fatalf("reseeded sweep ran %d trials, want %d", reseeded.Trials, want.Trials)
 	}
 }
 

@@ -1,8 +1,6 @@
 package routing
 
 import (
-	"container/heap"
-
 	"github.com/rtcl/bcp/internal/topology"
 )
 
@@ -12,96 +10,13 @@ import (
 // results use unit weights.
 type WeightFunc func(topology.LinkID) float64
 
-// pqItem is a priority-queue entry for Dijkstra's algorithm.
-type pqItem struct {
-	node topology.NodeID
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // MinCostPath returns a minimum-cost path from src to dst under c with link
 // costs given by w, and whether one exists. Hop limits in c are honored as a
 // hard constraint on the number of links.
+//
+// The search runs on a throwaway Router; callers on hot paths should hold a
+// Router and use its MinCostPath/MinCostLinks, which reuse the label arena
+// and heap across calls.
 func MinCostPath(g *topology.Graph, src, dst topology.NodeID, c Constraint, w WeightFunc) (topology.Path, bool) {
-	if src == dst || w == nil {
-		return topology.Path{}, false
-	}
-	type label struct {
-		dist float64
-		hops int
-		via  topology.LinkID
-	}
-	labels := make([]label, g.NumNodes())
-	for i := range labels {
-		labels[i] = label{dist: -1, via: topology.NoLink}
-	}
-	labels[src] = label{dist: 0, via: topology.NoLink}
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		lb := labels[it.node]
-		if it.dist > lb.dist {
-			continue // stale entry
-		}
-		if it.node == dst {
-			break
-		}
-		if c.MaxHops > 0 && lb.hops >= c.MaxHops {
-			continue
-		}
-		for _, l := range g.Out(it.node) {
-			if !c.linkOK(l) {
-				continue
-			}
-			lk := g.Link(l)
-			if lk.To != dst && !c.nodeOK(lk.To) {
-				continue
-			}
-			cost := w(l)
-			if cost <= 0 {
-				cost = 1e-9 // guard against zero/negative weights
-			}
-			nd := lb.dist + cost
-			tl := labels[lk.To]
-			if tl.dist < 0 || nd < tl.dist {
-				labels[lk.To] = label{dist: nd, hops: lb.hops + 1, via: l}
-				heap.Push(q, pqItem{node: lk.To, dist: nd})
-			}
-		}
-	}
-	if labels[dst].dist < 0 {
-		return topology.Path{}, false
-	}
-	// Reconstruct by following via links backwards.
-	var rev []topology.LinkID
-	for cur := dst; cur != src; {
-		l := labels[cur].via
-		rev = append(rev, l)
-		cur = g.Link(l).From
-	}
-	links := make([]topology.LinkID, len(rev))
-	for i, l := range rev {
-		links[len(rev)-1-i] = l
-	}
-	p, err := topology.NewPath(g, links)
-	if err != nil {
-		return topology.Path{}, false // negative-free Dijkstra can still braid under MaxHops; treat as no path
-	}
-	if c.MaxHops > 0 && p.Hops() > c.MaxHops {
-		return topology.Path{}, false
-	}
-	return p, true
+	return NewRouter(g).MinCostPath(src, dst, c, w)
 }

@@ -1,0 +1,502 @@
+package routing
+
+import (
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Router is a reusable path-finding engine bound to one graph. It owns every
+// piece of scratch state the searches need — generation-stamped label
+// arrays, the BFS queue, the Dijkstra heap, the unit-capacity flow network —
+// so repeated searches allocate nothing once the arenas are warm. It also
+// caches one unconstrained shortest-path tree per source node, so batch
+// workloads that query Distance for every pair (all-pairs establishment) pay
+// N tree builds instead of N² breadth-first searches.
+//
+// Arenas and the SPT cache are stamped with the graph's Version (its
+// mutation epoch): the first search after an AddLink resizes the arenas and
+// drops every cached tree. Graphs are immutable once their generator
+// returns, so in steady state the version check is a single compare.
+//
+// A Router is not safe for concurrent use. Parallel drivers build one
+// Router per worker (each worker's Manager owns one), mirroring the
+// one-Manager-per-worker rule of the sweep pool.
+type Router struct {
+	g    *topology.Graph
+	gver uint64 // graph version the arenas are sized for
+	init bool
+
+	// BFS arena. dist[n] is valid iff nodeGen[n] == gen.
+	gen     uint32
+	nodeGen []uint32
+	dist    []int32
+	queue   []topology.NodeID
+
+	// mark is a second stamp space for simple-path validity checks, so they
+	// cannot disturb live search labels.
+	mark     uint32
+	nodeMark []uint32
+
+	cand  []topology.LinkID // backtrack tie candidates
+	links []topology.LinkID // result buffer for the *Links searches
+
+	// Dijkstra arena. Labels are valid iff dGen[n] == dgen.
+	dgen  uint32
+	dGen  []uint32
+	dDist []float64
+	dHops []int32
+	dVia  []topology.LinkID
+	heap  []pqItem
+
+	// spt[src] is the unconstrained hop distance from src to every node
+	// (-1 unreachable), built lazily, dropped on a version change.
+	spt [][]int32
+
+	// Pooled flow network for the disjoint-path max-flow.
+	fnEdges  [][]flowEdge
+	fnPreds  []flowPred
+	fnQueue  []int32
+	usedOut  [][]int32
+	usedHead []int32
+	djBuf    [][]topology.LinkID
+	djOut    [][]topology.LinkID
+
+	seqExcl *Exclusion // SequentialDisjointPaths' reusable exclusion
+}
+
+// pqItem is a priority-queue entry for Dijkstra's algorithm.
+type pqItem struct {
+	node topology.NodeID
+	dist float64
+}
+
+// flowPred records the BFS predecessor arc during flow augmentation.
+type flowPred struct {
+	node, idx int32
+}
+
+// NewRouter creates a Router for g. The arenas are sized on first use.
+func NewRouter(g *topology.Graph) *Router {
+	return &Router{g: g}
+}
+
+// Graph returns the graph this router searches.
+func (r *Router) Graph() *topology.Graph { return r.g }
+
+// sync sizes the arenas for the graph's current version. Steady state is a
+// single uint64 compare; after a mutation it regrows what changed and drops
+// the per-source SPT cache (the epoch invalidation rule).
+func (r *Router) sync() {
+	v := r.g.Version()
+	if r.init && v == r.gver {
+		return
+	}
+	n := r.g.NumNodes()
+	if len(r.nodeGen) < n {
+		r.nodeGen = make([]uint32, n)
+		r.dist = make([]int32, n)
+		r.nodeMark = make([]uint32, n)
+		r.dGen = make([]uint32, n)
+		r.dDist = make([]float64, n)
+		r.dHops = make([]int32, n)
+		r.dVia = make([]topology.LinkID, n)
+		r.gen, r.mark, r.dgen = 0, 0, 0
+	}
+	if len(r.fnEdges) < 2*n {
+		r.fnEdges = make([][]flowEdge, 2*n)
+		r.fnPreds = make([]flowPred, 2*n)
+		r.usedOut = make([][]int32, 2*n)
+		r.usedHead = make([]int32, 2*n)
+	}
+	// Drop the SPT cache: the link set changed under it.
+	if len(r.spt) != n {
+		r.spt = make([][]int32, n)
+	} else {
+		for i := range r.spt {
+			r.spt[i] = nil
+		}
+	}
+	r.gver = v
+	r.init = true
+}
+
+// nextGen advances the BFS label stamp, clearing the arena on wrap.
+func (r *Router) nextGen() uint32 {
+	r.gen++
+	if r.gen == 0 {
+		for i := range r.nodeGen {
+			r.nodeGen[i] = 0
+		}
+		r.gen = 1
+	}
+	return r.gen
+}
+
+// nextDGen advances the Dijkstra label stamp, clearing the arena on wrap.
+func (r *Router) nextDGen() uint32 {
+	r.dgen++
+	if r.dgen == 0 {
+		for i := range r.dGen {
+			r.dGen[i] = 0
+		}
+		r.dgen = 1
+	}
+	return r.dgen
+}
+
+// nextMark advances the validity-check stamp, clearing the arena on wrap.
+func (r *Router) nextMark() uint32 {
+	r.mark++
+	if r.mark == 0 {
+		for i := range r.nodeMark {
+			r.nodeMark[i] = 0
+		}
+		r.mark = 1
+	}
+	return r.mark
+}
+
+// Distance returns the unconstrained hop distance from src to dst, or -1 if
+// unreachable, answered from the per-source shortest-path tree (built on
+// first query for src, O(1) afterwards).
+func (r *Router) Distance(src, dst topology.NodeID) int {
+	r.sync()
+	t := r.spt[src]
+	if t == nil {
+		t = r.buildSPT(src)
+	}
+	return int(t[dst])
+}
+
+// buildSPT runs one full unconstrained BFS from src and caches the distance
+// vector. The vector allocation is the cache entry itself (amortized across
+// every later Distance query), not per-call scratch.
+func (r *Router) buildSPT(src topology.NodeID) []int32 {
+	g := r.g
+	t := make([]int32, g.NumNodes())
+	for i := range t {
+		t[i] = -1
+	}
+	t[src] = 0
+	q := r.queue[:0]
+	q = append(q, src)
+	for head := 0; head < len(q); head++ {
+		n := q[head]
+		for _, l := range g.Out(n) {
+			to := g.Link(l).To
+			if t[to] >= 0 {
+				continue
+			}
+			t[to] = t[n] + 1
+			q = append(q, to)
+		}
+	}
+	r.queue = q
+	r.spt[src] = t
+	return t
+}
+
+// bfsForward labels reachable nodes with their constrained hop distance
+// from src, stopping once target is dequeued (every node at a strictly
+// smaller distance is fully labeled by then). Returns the stamp identifying
+// this search's labels.
+func (r *Router) bfsForward(src topology.NodeID, c Constraint, target topology.NodeID) uint32 {
+	g := r.g
+	gen := r.nextGen()
+	r.dist[src] = 0
+	r.nodeGen[src] = gen
+	q := r.queue[:0]
+	q = append(q, src)
+	for head := 0; head < len(q); head++ {
+		n := q[head]
+		if n == target {
+			break
+		}
+		if c.MaxHops > 0 && int(r.dist[n]) >= c.MaxHops {
+			continue
+		}
+		for _, l := range g.Out(n) {
+			if !c.linkOK(l) {
+				continue
+			}
+			to := g.Link(l).To
+			if r.nodeGen[to] == gen {
+				continue
+			}
+			if to != target && !c.nodeOK(to) {
+				continue
+			}
+			r.dist[to] = r.dist[n] + 1
+			r.nodeGen[to] = gen
+			q = append(q, to)
+		}
+	}
+	r.queue = q
+	return gen
+}
+
+// ShortestDistance returns the hop count of a shortest src→dst path under c,
+// or -1 if none exists. It is ShortestPath without the backtrack and path
+// materialization — the right call when only the length matters (the
+// backup-slack QoS bound).
+func (r *Router) ShortestDistance(src, dst topology.NodeID, c Constraint) int {
+	if src == dst {
+		return -1
+	}
+	r.sync()
+	gen := r.bfsForward(src, c, dst)
+	if r.nodeGen[dst] != gen {
+		return -1
+	}
+	return int(r.dist[dst])
+}
+
+// ShortestLinks returns the link sequence of a shortest src→dst path under
+// c, and whether one exists. The slice is the router's scratch buffer: it is
+// valid until the next search on r, and must be copied to outlive it.
+// Tie-breaking is identical to ShortestPath (lowest link id, or c.TieBreak).
+func (r *Router) ShortestLinks(src, dst topology.NodeID, c Constraint) ([]topology.LinkID, bool) {
+	if src == dst {
+		return nil, false
+	}
+	r.sync()
+	gen := r.bfsForward(src, c, dst)
+	if r.nodeGen[dst] != gen {
+		return nil, false
+	}
+	g := r.g
+	n := int(r.dist[dst])
+	if cap(r.links) < n {
+		r.links = make([]topology.LinkID, n)
+	}
+	links := r.links[:n]
+	// Backtrack from dst, at each step choosing an in-link whose tail is one
+	// hop closer to src. Randomized tie-breaking when c.TieBreak is set.
+	cur := dst
+	for d := n; d > 0; d-- {
+		var choice topology.LinkID
+		if c.TieBreak == nil {
+			// Deterministic: lowest link id wins.
+			choice = topology.NoLink
+			for _, l := range g.In(cur) {
+				if !c.linkOK(l) {
+					continue
+				}
+				from := g.Link(l).From
+				if r.nodeGen[from] != gen || int(r.dist[from]) != d-1 {
+					continue
+				}
+				if from != src && !c.nodeOK(from) {
+					continue
+				}
+				if choice == topology.NoLink || l < choice {
+					choice = l
+				}
+			}
+		} else {
+			cands := r.cand[:0]
+			for _, l := range g.In(cur) {
+				if !c.linkOK(l) {
+					continue
+				}
+				from := g.Link(l).From
+				if r.nodeGen[from] != gen || int(r.dist[from]) != d-1 {
+					continue
+				}
+				if from != src && !c.nodeOK(from) {
+					continue
+				}
+				cands = append(cands, l)
+			}
+			r.cand = cands
+			choice = cands[0]
+			if len(cands) > 1 {
+				choice = cands[c.TieBreak.Intn(len(cands))]
+			}
+		}
+		links[d-1] = choice
+		cur = g.Link(choice).From
+	}
+	r.links = links
+	return links, true
+}
+
+// ShortestPath returns a shortest path from src to dst satisfying c, and
+// whether one exists.
+func (r *Router) ShortestPath(src, dst topology.NodeID, c Constraint) (topology.Path, bool) {
+	links, ok := r.ShortestLinks(src, dst, c)
+	if !ok {
+		return topology.Path{}, false
+	}
+	p, err := topology.NewPath(r.g, links)
+	if err != nil {
+		// BFS trees cannot produce discontiguous or cyclic paths.
+		panic("routing: internal error: " + err.Error())
+	}
+	return p, true
+}
+
+// heapPush and heapPop mirror container/heap's sift rules exactly (binary
+// arity, identical comparison and swap sequence), so the pop order among
+// equal-distance entries — and therefore tie-breaking among equal-cost
+// paths — is byte-identical to the boxed implementation they replace. The
+// win is structural: no interface boxing, no per-push allocation, labels in
+// flat arrays instead of per-call slices.
+func (r *Router) heapPush(it pqItem) {
+	r.heap = append(r.heap, it)
+	j := len(r.heap) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(r.heap[j].dist < r.heap[i].dist) {
+			break
+		}
+		r.heap[i], r.heap[j] = r.heap[j], r.heap[i]
+		j = i
+	}
+}
+
+func (r *Router) heapPop() pqItem {
+	h := r.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	r.heap = h[:n]
+	return it
+}
+
+// MinCostLinks returns the link sequence of a minimum-cost src→dst path
+// under c with link costs given by w, and whether one exists. Hop limits in
+// c are honored as a hard constraint on the number of links. The slice is
+// the router's scratch buffer, valid until the next search on r.
+func (r *Router) MinCostLinks(src, dst topology.NodeID, c Constraint, w WeightFunc) ([]topology.LinkID, bool) {
+	if src == dst || w == nil {
+		return nil, false
+	}
+	r.sync()
+	g := r.g
+	gen := r.nextDGen()
+	r.dGen[src] = gen
+	r.dDist[src] = 0
+	r.dHops[src] = 0
+	r.dVia[src] = topology.NoLink
+	r.heap = r.heap[:0]
+	r.heapPush(pqItem{node: src, dist: 0})
+	for len(r.heap) > 0 {
+		it := r.heapPop()
+		if it.dist > r.dDist[it.node] {
+			continue // stale entry
+		}
+		if it.node == dst {
+			break
+		}
+		if c.MaxHops > 0 && int(r.dHops[it.node]) >= c.MaxHops {
+			continue
+		}
+		base, hops := r.dDist[it.node], r.dHops[it.node]
+		for _, l := range g.Out(it.node) {
+			if !c.linkOK(l) {
+				continue
+			}
+			lk := g.Link(l)
+			if lk.To != dst && !c.nodeOK(lk.To) {
+				continue
+			}
+			cost := w(l)
+			if cost <= 0 {
+				cost = 1e-9 // guard against zero/negative weights
+			}
+			nd := base + cost
+			if r.dGen[lk.To] != gen || nd < r.dDist[lk.To] {
+				r.dGen[lk.To] = gen
+				r.dDist[lk.To] = nd
+				r.dHops[lk.To] = hops + 1
+				r.dVia[lk.To] = l
+				r.heapPush(pqItem{node: lk.To, dist: nd})
+			}
+		}
+	}
+	if r.dGen[dst] != gen {
+		return nil, false
+	}
+	// Walk the via chain to count hops (a label overwrite can leave dHops
+	// inconsistent with the final chain), then fill the buffer backwards.
+	// The mark stamps reject any node revisit — the arena equivalent of the
+	// NewPath validation the boxed implementation leaned on.
+	mark := r.nextMark()
+	n := 0
+	for cur := dst; cur != src; {
+		if r.nodeMark[cur] == mark {
+			return nil, false // braided under MaxHops; treat as no path
+		}
+		r.nodeMark[cur] = mark
+		cur = g.Link(r.dVia[cur]).From
+		n++
+		if n > g.NumNodes() {
+			return nil, false
+		}
+	}
+	if c.MaxHops > 0 && n > c.MaxHops {
+		return nil, false
+	}
+	if cap(r.links) < n {
+		r.links = make([]topology.LinkID, n)
+	}
+	links := r.links[:n]
+	for cur := dst; cur != src; {
+		l := r.dVia[cur]
+		n--
+		links[n] = l
+		cur = g.Link(l).From
+	}
+	r.links = links
+	return links, true
+}
+
+// MinCostPath returns a minimum-cost path from src to dst under c with link
+// costs given by w, and whether one exists.
+func (r *Router) MinCostPath(src, dst topology.NodeID, c Constraint, w WeightFunc) (topology.Path, bool) {
+	links, ok := r.MinCostLinks(src, dst, c, w)
+	if !ok {
+		return topology.Path{}, false
+	}
+	p, err := topology.NewPath(r.g, links)
+	if err != nil {
+		return topology.Path{}, false
+	}
+	return p, true
+}
+
+// SequentialDisjointPaths implements the paper's routing discipline on the
+// router's arenas; see the package-level function for semantics.
+func (r *Router) SequentialDisjointPaths(src, dst topology.NodeID, count int, c Constraint) []topology.Path {
+	var paths []topology.Path
+	if r.seqExcl == nil {
+		r.seqExcl = NewExclusion()
+	}
+	excl := r.seqExcl.Reset()
+	for i := 0; i < count; i++ {
+		cc := excl.Constrain(c)
+		p, ok := r.ShortestPath(src, dst, cc)
+		if !ok {
+			break
+		}
+		paths = append(paths, p)
+		excl.AddPath(p)
+	}
+	return paths
+}

@@ -1,0 +1,619 @@
+package routing
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// This file checks the Router's arena-based searches against straightforward
+// from-scratch reference implementations (the package's pre-Router code,
+// kept here verbatim modulo naming). The property corpus runs many queries
+// through ONE Router per graph, so arena reuse, generation stamping, and the
+// SPT cache are all exercised between comparisons. Every comparison demands
+// byte-identical link sequences, not just equal lengths: the Router must
+// preserve tie-breaking exactly.
+
+// --- reference implementations (pre-Router code) ---
+
+func refDistSlice(g *topology.Graph) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	return dist
+}
+
+func refDistance(g *topology.Graph, src, dst topology.NodeID, c Constraint) int {
+	dist := refDistSlice(g)
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			return dist[n]
+		}
+		if c.MaxHops > 0 && dist[n] >= c.MaxHops {
+			continue
+		}
+		for _, l := range g.Out(n) {
+			if !c.linkOK(l) {
+				continue
+			}
+			to := g.Link(l).To
+			if dist[to] >= 0 {
+				continue
+			}
+			if to != dst && !c.nodeOK(to) {
+				continue
+			}
+			dist[to] = dist[n] + 1
+			queue = append(queue, to)
+		}
+	}
+	return -1
+}
+
+func refShortestPath(g *topology.Graph, src, dst topology.NodeID, c Constraint) (topology.Path, bool) {
+	if src == dst {
+		return topology.Path{}, false
+	}
+	dist := refDistSlice(g)
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			break
+		}
+		if c.MaxHops > 0 && dist[n] >= c.MaxHops {
+			continue
+		}
+		for _, l := range g.Out(n) {
+			if !c.linkOK(l) {
+				continue
+			}
+			to := g.Link(l).To
+			if dist[to] >= 0 {
+				continue
+			}
+			if to != dst && !c.nodeOK(to) {
+				continue
+			}
+			dist[to] = dist[n] + 1
+			queue = append(queue, to)
+		}
+	}
+	if dist[dst] < 0 {
+		return topology.Path{}, false
+	}
+	links := make([]topology.LinkID, dist[dst])
+	cur := dst
+	for d := dist[dst]; d > 0; d-- {
+		var candidates []topology.LinkID
+		for _, l := range g.In(cur) {
+			if !c.linkOK(l) {
+				continue
+			}
+			from := g.Link(l).From
+			if dist[from] != d-1 {
+				continue
+			}
+			if from != src && !c.nodeOK(from) {
+				continue
+			}
+			if c.TieBreak == nil {
+				if candidates == nil || l < candidates[0] {
+					candidates = []topology.LinkID{l}
+				}
+				continue
+			}
+			candidates = append(candidates, l)
+		}
+		choice := candidates[0]
+		if c.TieBreak != nil && len(candidates) > 1 {
+			choice = candidates[c.TieBreak.Intn(len(candidates))]
+		}
+		links[d-1] = choice
+		cur = g.Link(choice).From
+	}
+	p, err := topology.NewPath(g, links)
+	if err != nil {
+		panic("routing: reference backtrack built invalid path: " + err.Error())
+	}
+	return p, true
+}
+
+type refPQItem struct {
+	node topology.NodeID
+	dist float64
+}
+
+type refPQ []refPQItem
+
+func (q refPQ) Len() int            { return len(q) }
+func (q refPQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q refPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refPQ) Push(x interface{}) { *q = append(*q, x.(refPQItem)) }
+func (q *refPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func refMinCostPath(g *topology.Graph, src, dst topology.NodeID, c Constraint, w WeightFunc) (topology.Path, bool) {
+	if src == dst || w == nil {
+		return topology.Path{}, false
+	}
+	type label struct {
+		dist float64
+		hops int
+		via  topology.LinkID
+	}
+	labels := make([]label, g.NumNodes())
+	for i := range labels {
+		labels[i] = label{dist: -1, via: topology.NoLink}
+	}
+	labels[src] = label{dist: 0, via: topology.NoLink}
+	q := &refPQ{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(refPQItem)
+		lb := labels[it.node]
+		if it.dist > lb.dist {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		if c.MaxHops > 0 && lb.hops >= c.MaxHops {
+			continue
+		}
+		for _, l := range g.Out(it.node) {
+			if !c.linkOK(l) {
+				continue
+			}
+			lk := g.Link(l)
+			if lk.To != dst && !c.nodeOK(lk.To) {
+				continue
+			}
+			cost := w(l)
+			if cost <= 0 {
+				cost = 1e-9
+			}
+			nd := lb.dist + cost
+			tl := labels[lk.To]
+			if tl.dist < 0 || nd < tl.dist {
+				labels[lk.To] = label{dist: nd, hops: lb.hops + 1, via: l}
+				heap.Push(q, refPQItem{node: lk.To, dist: nd})
+			}
+		}
+	}
+	if labels[dst].dist < 0 {
+		return topology.Path{}, false
+	}
+	var rev []topology.LinkID
+	for cur := dst; cur != src; {
+		l := labels[cur].via
+		rev = append(rev, l)
+		cur = g.Link(l).From
+	}
+	links := make([]topology.LinkID, len(rev))
+	for i, l := range rev {
+		links[len(rev)-1-i] = l
+	}
+	p, err := topology.NewPath(g, links)
+	if err != nil {
+		return topology.Path{}, false
+	}
+	if c.MaxHops > 0 && p.Hops() > c.MaxHops {
+		return topology.Path{}, false
+	}
+	return p, true
+}
+
+type refFlowEdge struct {
+	to      int
+	cap     int
+	rev     int
+	link    topology.LinkID
+	forward bool
+}
+
+type refFlowNet struct {
+	edges [][]refFlowEdge
+}
+
+func (f *refFlowNet) add(from, to, capacity int, link topology.LinkID) {
+	f.edges[from] = append(f.edges[from], refFlowEdge{
+		to: to, cap: capacity, rev: len(f.edges[to]), link: link, forward: true,
+	})
+	f.edges[to] = append(f.edges[to], refFlowEdge{
+		to: from, cap: 0, rev: len(f.edges[from]) - 1, link: topology.NoLink, forward: false,
+	})
+}
+
+func refAugment(net *refFlowNet, source, sink int) bool {
+	type pred struct {
+		node, idx int
+	}
+	preds := make([]pred, len(net.edges))
+	for i := range preds {
+		preds[i].node = -1
+	}
+	preds[source].node = source
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == sink {
+			break
+		}
+		for i, e := range net.edges[u] {
+			if e.cap <= 0 || preds[e.to].node != -1 {
+				continue
+			}
+			preds[e.to] = pred{node: u, idx: i}
+			queue = append(queue, e.to)
+		}
+	}
+	if preds[sink].node == -1 {
+		return false
+	}
+	for v := sink; v != source; {
+		p := preds[v]
+		e := &net.edges[p.node][p.idx]
+		e.cap--
+		net.edges[v][e.rev].cap++
+		v = p.node
+	}
+	return true
+}
+
+func refMaxDisjointPaths(g *topology.Graph, src, dst topology.NodeID, count int, c Constraint) []topology.Path {
+	if src == dst || count <= 0 {
+		return nil
+	}
+	n := g.NumNodes()
+	inID := func(v topology.NodeID) int { return int(2 * v) }
+	outID := func(v topology.NodeID) int { return int(2*v + 1) }
+	net := &refFlowNet{edges: make([][]refFlowEdge, 2*n)}
+	for v := topology.NodeID(0); int(v) < n; v++ {
+		capV := 1
+		switch {
+		case v == src || v == dst:
+			capV = count
+		case !c.nodeOK(v):
+			capV = 0
+		}
+		net.add(inID(v), outID(v), capV, topology.NoLink)
+	}
+	for _, l := range g.Links() {
+		if !c.linkOK(l.ID) {
+			continue
+		}
+		net.add(outID(l.From), inID(l.To), 1, l.ID)
+	}
+
+	source, sink := outID(src), inID(dst)
+	flows := 0
+	for flows < count && refAugment(net, source, sink) {
+		flows++
+	}
+	if flows == 0 {
+		return nil
+	}
+
+	usedOut := make([][]int, len(net.edges))
+	for u := range net.edges {
+		for i, e := range net.edges[u] {
+			if e.forward && net.edges[e.to][e.rev].cap > 0 {
+				for k := 0; k < net.edges[e.to][e.rev].cap; k++ {
+					usedOut[u] = append(usedOut[u], i)
+				}
+			}
+		}
+	}
+	paths := make([]topology.Path, 0, flows)
+	for f := 0; f < flows; f++ {
+		var links []topology.LinkID
+		u := source
+		for u != sink {
+			if len(usedOut[u]) == 0 {
+				break
+			}
+			i := usedOut[u][0]
+			usedOut[u] = usedOut[u][1:]
+			e := net.edges[u][i]
+			if e.link != topology.NoLink {
+				links = append(links, e.link)
+			}
+			u = e.to
+		}
+		if u != sink || len(links) == 0 {
+			continue
+		}
+		if p, err := topology.NewPath(g, links); err == nil {
+			paths = append(paths, p)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Hops() < paths[j].Hops() })
+	return paths
+}
+
+func refSequentialDisjointPaths(g *topology.Graph, src, dst topology.NodeID, count int, c Constraint) []topology.Path {
+	var paths []topology.Path
+	bannedLinks := map[topology.LinkID]bool{}
+	bannedNodes := map[topology.NodeID]bool{}
+	for i := 0; i < count; i++ {
+		cc := c
+		prevLink, prevNode := c.LinkAllowed, c.NodeAllowed
+		cc.LinkAllowed = func(l topology.LinkID) bool {
+			return !bannedLinks[l] && (prevLink == nil || prevLink(l))
+		}
+		cc.NodeAllowed = func(n topology.NodeID) bool {
+			return !bannedNodes[n] && (prevNode == nil || prevNode(n))
+		}
+		p, ok := refShortestPath(g, src, dst, cc)
+		if !ok {
+			break
+		}
+		paths = append(paths, p)
+		for _, l := range p.Links() {
+			bannedLinks[l] = true
+		}
+		for _, n := range p.InteriorNodes() {
+			bannedNodes[n] = true
+		}
+	}
+	return paths
+}
+
+// --- property corpus ---
+
+func samePath(a, b topology.Path) bool {
+	al, bl := a.Links(), b.Links()
+	if len(al) != len(bl) {
+		return false
+	}
+	for i := range al {
+		if al[i] != bl[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePaths(a, b []topology.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !samePath(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// corpusGraphs builds the graph set the equivalence properties run on:
+// the two evaluation networks plus random graphs of assorted sizes.
+func corpusGraphs() []*topology.Graph {
+	gs := []*topology.Graph{
+		topology.NewTorus(6, 6, 100),
+		topology.NewMesh(5, 7, 100),
+		topology.NewRing(12, 50),
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		n := 8 + int(seed)*5
+		deg := 2.5 + float64(seed)*0.3
+		gs = append(gs, topology.NewRandom(n, deg, 100, seed))
+	}
+	return gs
+}
+
+// corpusConstraint derives a deterministic pseudo-random constraint from
+// (graph, variant): possibly a hop bound, possibly link/node predicates,
+// possibly a bitset exclusion. It returns the Router-side constraint and an
+// equivalent closure-only constraint for the references.
+func corpusConstraint(g *topology.Graph, variant int, rng *rand.Rand) (router, ref Constraint) {
+	var c Constraint
+	if variant&1 != 0 {
+		c.MaxHops = 3 + rng.Intn(6)
+	}
+	if variant&2 != 0 {
+		h := rng.Int63()
+		c.LinkAllowed = func(l topology.LinkID) bool {
+			return (int64(l)*2654435761+h)%7 != 0
+		}
+	}
+	if variant&4 != 0 {
+		h := rng.Int63()
+		c.NodeAllowed = func(n topology.NodeID) bool {
+			return (int64(n)*40503+h)%11 != 0
+		}
+	}
+	router, ref = c, c
+	if variant&8 != 0 {
+		excl := NewExclusion()
+		bannedLinks := map[topology.LinkID]bool{}
+		bannedNodes := map[topology.NodeID]bool{}
+		for i := 0; i < 3; i++ {
+			l := topology.LinkID(rng.Intn(g.NumLinks()))
+			excl.AddLink(l)
+			bannedLinks[l] = true
+		}
+		n := topology.NodeID(rng.Intn(g.NumNodes()))
+		excl.AddNode(n)
+		bannedNodes[n] = true
+
+		router = excl.Constrain(c)
+		prevLink, prevNode := c.LinkAllowed, c.NodeAllowed
+		ref.LinkAllowed = func(l topology.LinkID) bool {
+			return !bannedLinks[l] && (prevLink == nil || prevLink(l))
+		}
+		ref.NodeAllowed = func(n topology.NodeID) bool {
+			return !bannedNodes[n] && (prevNode == nil || prevNode(n))
+		}
+	}
+	return router, ref
+}
+
+// TestRouterMatchesReference is the equivalence property: one Router per
+// graph, reused across every query and compared against the from-scratch
+// implementations on the same inputs. Link sequences must match exactly.
+func TestRouterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for gi, g := range corpusGraphs() {
+		r := NewRouter(g)
+		for trial := 0; trial < 120; trial++ {
+			src := topology.NodeID(rng.Intn(g.NumNodes()))
+			dst := topology.NodeID(rng.Intn(g.NumNodes()))
+			if src == dst {
+				continue
+			}
+			variant := rng.Intn(16)
+			cRouter, cRef := corpusConstraint(g, variant, rng)
+
+			// Unconstrained distance (SPT cache path).
+			if got, want := r.Distance(src, dst), refDistance(g, src, dst, Constraint{}); got != want {
+				t.Fatalf("graph %d trial %d: Distance(%d,%d) = %d, want %d", gi, trial, src, dst, got, want)
+			}
+			// Constrained distance (arena BFS path).
+			if got, want := r.ShortestDistance(src, dst, cRouter), refDistance(g, src, dst, cRef); got != want {
+				t.Fatalf("graph %d trial %d: ShortestDistance(%d,%d) = %d, want %d", gi, trial, src, dst, got, want)
+			}
+
+			// Shortest path, deterministic tie-break.
+			gp, gok := r.ShortestPath(src, dst, cRouter)
+			wp, wok := refShortestPath(g, src, dst, cRef)
+			if gok != wok || (gok && !samePath(gp, wp)) {
+				t.Fatalf("graph %d trial %d: ShortestPath(%d,%d) = %v,%v want %v,%v", gi, trial, src, dst, gp, gok, wp, wok)
+			}
+
+			// Shortest path, randomized tie-break: identical seeds must
+			// consume the rng identically and return identical paths.
+			seed := rng.Int63()
+			cr, cf := cRouter, cRef
+			cr.TieBreak = rand.New(rand.NewSource(seed))
+			cf.TieBreak = rand.New(rand.NewSource(seed))
+			gp, gok = r.ShortestPath(src, dst, cr)
+			wp, wok = refShortestPath(g, src, dst, cf)
+			if gok != wok || (gok && !samePath(gp, wp)) {
+				t.Fatalf("graph %d trial %d: tie-broken ShortestPath(%d,%d) = %v,%v want %v,%v", gi, trial, src, dst, gp, gok, wp, wok)
+			}
+
+			// Weighted search. The weight is a deterministic hash of the
+			// link id, heavy on ties to stress heap-order compatibility.
+			wh := rng.Int63n(1 << 20)
+			w := func(l topology.LinkID) float64 {
+				return 1 + float64((int64(l)*2654435761>>16+wh)%4)
+			}
+			gp, gok = r.MinCostPath(src, dst, cRouter, w)
+			wp, wok = refMinCostPath(g, src, dst, cRef, w)
+			if gok != wok || (gok && !samePath(gp, wp)) {
+				t.Fatalf("graph %d trial %d: MinCostPath(%d,%d) = %v,%v want %v,%v", gi, trial, src, dst, gp, gok, wp, wok)
+			}
+
+			// Disjoint sets, both disciplines.
+			count := 1 + rng.Intn(4)
+			if got, want := r.MaxDisjointPaths(src, dst, count, cRouter), refMaxDisjointPaths(g, src, dst, count, cRef); !samePaths(got, want) {
+				t.Fatalf("graph %d trial %d: MaxDisjointPaths(%d,%d,%d) = %v want %v", gi, trial, src, dst, count, got, want)
+			}
+			if got, want := r.SequentialDisjointPaths(src, dst, count, cRouter), refSequentialDisjointPaths(g, src, dst, count, cRef); !samePaths(got, want) {
+				t.Fatalf("graph %d trial %d: SequentialDisjointPaths(%d,%d,%d) = %v want %v", gi, trial, src, dst, count, got, want)
+			}
+		}
+	}
+}
+
+// TestRouterPackageWrappersMatch pins the throwaway-Router package functions
+// to the Router methods on a sample of queries.
+func TestRouterPackageWrappersMatch(t *testing.T) {
+	g := topology.NewTorus(5, 5, 100)
+	r := NewRouter(g)
+	for s := 0; s < g.NumNodes(); s += 3 {
+		for d := 0; d < g.NumNodes(); d += 4 {
+			if s == d {
+				continue
+			}
+			src, dst := topology.NodeID(s), topology.NodeID(d)
+			if Distance(g, src, dst) != r.Distance(src, dst) {
+				t.Fatalf("Distance wrapper diverges at (%d,%d)", src, dst)
+			}
+			wp, wok := ShortestPath(g, src, dst, Constraint{})
+			gp, gok := r.ShortestPath(src, dst, Constraint{})
+			if wok != gok || !samePath(wp, gp) {
+				t.Fatalf("ShortestPath wrapper diverges at (%d,%d)", src, dst)
+			}
+		}
+	}
+}
+
+// TestRouterSeesTopologyGrowth checks the epoch invalidation rule: a Router
+// created before AddLink must observe the new link on its next query (the
+// SPT cache and arenas resize and recompute).
+func TestRouterSeesTopologyGrowth(t *testing.T) {
+	g := topology.NewLine(6, 100)
+	r := NewRouter(g)
+	if d := r.Distance(0, 5); d != 5 {
+		t.Fatalf("line distance = %d, want 5", d)
+	}
+	if _, err := g.AddLink(0, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Distance(0, 5); d != 1 {
+		t.Fatalf("after shortcut, distance = %d, want 1 (stale SPT cache?)", d)
+	}
+	if p, ok := r.ShortestPath(0, 5, Constraint{}); !ok || p.Hops() != 1 {
+		t.Fatalf("after shortcut, path = %v,%v, want the 1-hop path", p, ok)
+	}
+}
+
+// --- steady-state allocation guarantees ---
+
+// TestRouterZeroAllocSteadyState pins the acceptance criterion: after one
+// warm-up call, the scratch-backed searches allocate nothing per call.
+func TestRouterZeroAllocSteadyState(t *testing.T) {
+	g := topology.NewTorus(8, 8, 200)
+	r := NewRouter(g)
+	src, dst := topology.NodeID(0), topology.NodeID(36)
+	w := func(l topology.LinkID) float64 { return 1 + float64(int(l)%3) }
+	excl := NewExclusion()
+	c := excl.Constrain(Constraint{})
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Distance", func() { r.Distance(src, dst) }},
+		{"ShortestDistance", func() { r.ShortestDistance(src, dst, c) }},
+		{"ShortestLinks", func() {
+			if _, ok := r.ShortestLinks(src, dst, c); !ok {
+				t.Fatal("no path")
+			}
+		}},
+		{"MinCostLinks", func() {
+			if _, ok := r.MinCostLinks(src, dst, c, w); !ok {
+				t.Fatal("no path")
+			}
+		}},
+		{"DisjointLinks", func() {
+			if got := r.DisjointLinks(src, dst, 2, c); len(got) != 2 {
+				t.Fatalf("got %d disjoint link sets, want 2", len(got))
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm up the arenas
+		if avg := testing.AllocsPerRun(20, tc.fn); avg != 0 {
+			t.Errorf("%s allocates %.1f/op in steady state, want 0", tc.name, avg)
+		}
+	}
+}

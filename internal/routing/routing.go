@@ -8,6 +8,12 @@
 // earlier channels. Feasibility (admission) is expressed here as caller
 // supplied predicates over links and nodes, so the same search serves both
 // the unconstrained distance computation and the bandwidth-constrained one.
+//
+// All searches run on a Router, a reusable engine that owns every piece of
+// scratch state (label arrays, queues, the Dijkstra heap, the flow network),
+// so steady-state searches allocate nothing. The package-level functions
+// below build a throwaway Router per call for convenience; hot paths (the
+// core Manager, the experiment drivers) hold one Router per worker.
 package routing
 
 import (
@@ -29,6 +35,12 @@ type Constraint struct {
 	LinkAllowed func(topology.LinkID) bool
 	NodeAllowed func(topology.NodeID) bool
 
+	// Exclude, if non-nil, bans its components before the predicates are
+	// consulted. Exclusion sets are bitsets, so sequential disjoint routing
+	// pays two word lookups per candidate component instead of two map
+	// probes and two closure frames (the former Constrain chaining).
+	Exclude *Exclusion
+
 	// TieBreak, if non-nil, randomizes the choice among equally short
 	// predecessors during path reconstruction. A nil TieBreak selects the
 	// lowest link id, which is deterministic but concentrates traffic on a
@@ -38,10 +50,16 @@ type Constraint struct {
 }
 
 func (c Constraint) linkOK(l topology.LinkID) bool {
+	if c.Exclude != nil && c.Exclude.LinkExcluded(l) {
+		return false
+	}
 	return c.LinkAllowed == nil || c.LinkAllowed(l)
 }
 
 func (c Constraint) nodeOK(n topology.NodeID) bool {
+	if c.Exclude != nil && c.Exclude.NodeExcluded(n) {
+		return false
+	}
 	return c.NodeAllowed == nil || c.NodeAllowed(n)
 }
 
@@ -50,146 +68,57 @@ func (c Constraint) nodeOK(n topology.NodeID) bool {
 // end-to-end delay requirement iff its path is at most 2 hops longer than
 // the shortest possible path.
 func Distance(g *topology.Graph, src, dst topology.NodeID) int {
-	d := bfs(g, src, Constraint{}, dst)
-	return d
-}
-
-// bfs runs a breadth-first search from src under c, returning the distance
-// to target (-1 if unreachable). If target is topology.NoNode the search
-// covers the whole reachable set and returns 0.
-func bfs(g *topology.Graph, src topology.NodeID, c Constraint, target topology.NodeID) int {
-	dist := distSlice(g)
-	dist[src] = 0
-	queue := []topology.NodeID{src}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		if n == target {
-			return dist[n]
-		}
-		if c.MaxHops > 0 && dist[n] >= c.MaxHops {
-			continue
-		}
-		for _, l := range g.Out(n) {
-			if !c.linkOK(l) {
-				continue
-			}
-			to := g.Link(l).To
-			if dist[to] >= 0 {
-				continue
-			}
-			if to != target && !c.nodeOK(to) {
-				continue
-			}
-			dist[to] = dist[n] + 1
-			queue = append(queue, to)
-		}
-	}
-	if target == topology.NoNode {
-		return 0
-	}
-	return -1
-}
-
-func distSlice(g *topology.Graph) []int {
-	dist := make([]int, g.NumNodes())
-	for i := range dist {
-		dist[i] = -1
-	}
-	return dist
+	return NewRouter(g).Distance(src, dst)
 }
 
 // ShortestPath returns a shortest path from src to dst satisfying c, and
 // whether one exists.
 func ShortestPath(g *topology.Graph, src, dst topology.NodeID, c Constraint) (topology.Path, bool) {
-	if src == dst {
-		return topology.Path{}, false
-	}
-	// Forward BFS computing distances from src.
-	dist := distSlice(g)
-	dist[src] = 0
-	queue := []topology.NodeID{src}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		if n == dst {
-			break
-		}
-		if c.MaxHops > 0 && dist[n] >= c.MaxHops {
-			continue
-		}
-		for _, l := range g.Out(n) {
-			if !c.linkOK(l) {
-				continue
-			}
-			to := g.Link(l).To
-			if dist[to] >= 0 {
-				continue
-			}
-			if to != dst && !c.nodeOK(to) {
-				continue
-			}
-			dist[to] = dist[n] + 1
-			queue = append(queue, to)
-		}
-	}
-	if dist[dst] < 0 {
-		return topology.Path{}, false
-	}
-	// Backtrack from dst, at each step choosing an in-link whose tail is one
-	// hop closer to src. Randomized tie-breaking when c.TieBreak is set.
-	links := make([]topology.LinkID, dist[dst])
-	cur := dst
-	for d := dist[dst]; d > 0; d-- {
-		var candidates []topology.LinkID
-		for _, l := range g.In(cur) {
-			if !c.linkOK(l) {
-				continue
-			}
-			from := g.Link(l).From
-			if dist[from] != d-1 {
-				continue
-			}
-			if from != src && !c.nodeOK(from) {
-				continue
-			}
-			if c.TieBreak == nil {
-				// Deterministic: lowest link id wins; take the first and
-				// keep scanning only to preserve lowest-id semantics.
-				if candidates == nil || l < candidates[0] {
-					candidates = []topology.LinkID{l}
-				}
-				continue
-			}
-			candidates = append(candidates, l)
-		}
-		choice := candidates[0]
-		if c.TieBreak != nil && len(candidates) > 1 {
-			choice = candidates[c.TieBreak.Intn(len(candidates))]
-		}
-		links[d-1] = choice
-		cur = g.Link(choice).From
-	}
-	p, err := topology.NewPath(g, links)
-	if err != nil {
-		// BFS trees cannot produce discontiguous or cyclic paths.
-		panic("routing: internal error: " + err.Error())
-	}
-	return p, true
+	return NewRouter(g).ShortestPath(src, dst, c)
 }
 
-// Exclusion accumulates components to avoid, for sequential disjoint routing.
+// bitset is a fixed-universe membership set over dense int ids, grown on
+// demand so the zero value works for any graph size.
+type bitset []uint64
+
+func (b *bitset) set(i int) {
+	w := i >> 6
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+func (b bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Exclusion accumulates components to avoid, for sequential disjoint
+// routing. It is a pair of link/node bitsets sized to the graph's id spaces:
+// membership tests are branch-free word lookups, and Reset keeps the storage
+// so one Exclusion can serve every establishment a Manager performs.
 type Exclusion struct {
-	links map[topology.LinkID]struct{}
-	nodes map[topology.NodeID]struct{}
+	links bitset
+	nodes bitset
 }
 
 // NewExclusion returns an empty exclusion set.
 func NewExclusion() *Exclusion {
-	return &Exclusion{
-		links: make(map[topology.LinkID]struct{}),
-		nodes: make(map[topology.NodeID]struct{}),
-	}
+	return &Exclusion{}
+}
+
+// Reset empties the exclusion, keeping its storage, and returns it.
+func (e *Exclusion) Reset() *Exclusion {
+	e.links.clear()
+	e.nodes.clear()
+	return e
 }
 
 // AddPath excludes every component of p: all its simplex links and all its
@@ -199,43 +128,46 @@ func NewExclusion() *Exclusion {
 // endpoints are excluded interior nodes.
 func (e *Exclusion) AddPath(p topology.Path) {
 	for _, l := range p.Links() {
-		e.links[l] = struct{}{}
+		e.links.set(int(l))
 	}
 	for _, n := range p.InteriorNodes() {
-		e.nodes[n] = struct{}{}
+		e.nodes.set(int(n))
 	}
 }
 
 // AddLink excludes a single link (not its reverse).
-func (e *Exclusion) AddLink(l topology.LinkID) { e.links[l] = struct{}{} }
+func (e *Exclusion) AddLink(l topology.LinkID) { e.links.set(int(l)) }
 
 // AddNode excludes a single node.
-func (e *Exclusion) AddNode(n topology.NodeID) { e.nodes[n] = struct{}{} }
+func (e *Exclusion) AddNode(n topology.NodeID) { e.nodes.set(int(n)) }
 
 // LinkExcluded reports whether l is excluded.
-func (e *Exclusion) LinkExcluded(l topology.LinkID) bool {
-	_, bad := e.links[l]
-	return bad
-}
+func (e *Exclusion) LinkExcluded(l topology.LinkID) bool { return e.links.has(int(l)) }
 
 // NodeExcluded reports whether n is excluded.
-func (e *Exclusion) NodeExcluded(n topology.NodeID) bool {
-	_, bad := e.nodes[n]
-	return bad
-}
+func (e *Exclusion) NodeExcluded(n topology.NodeID) bool { return e.nodes.has(int(n)) }
 
 // Constrain merges the exclusion into an existing constraint, returning a
-// new constraint that also avoids the excluded components.
+// new constraint that also avoids the excluded components. The common case
+// attaches the exclusion to the constraint's Exclude slot without allocating;
+// only a constraint already carrying a different exclusion falls back to
+// predicate chaining.
 func (e *Exclusion) Constrain(c Constraint) Constraint {
+	if c.Exclude == nil || c.Exclude == e {
+		c.Exclude = e
+		return c
+	}
+	prev := c.Exclude
 	prevLink, prevNode := c.LinkAllowed, c.NodeAllowed
+	c.Exclude = e
 	c.LinkAllowed = func(l topology.LinkID) bool {
-		if e.LinkExcluded(l) {
+		if prev.LinkExcluded(l) {
 			return false
 		}
 		return prevLink == nil || prevLink(l)
 	}
 	c.NodeAllowed = func(n topology.NodeID) bool {
-		if e.NodeExcluded(n) {
+		if prev.NodeExcluded(n) {
 			return false
 		}
 		return prevNode == nil || prevNode(n)
@@ -251,16 +183,5 @@ func (e *Exclusion) Constrain(c Constraint) Constraint {
 // that a flow-based method would find; see MaxDisjointPaths for the
 // flow-based alternative.
 func SequentialDisjointPaths(g *topology.Graph, src, dst topology.NodeID, count int, c Constraint) []topology.Path {
-	var paths []topology.Path
-	excl := NewExclusion()
-	for i := 0; i < count; i++ {
-		cc := excl.Constrain(c)
-		p, ok := ShortestPath(g, src, dst, cc)
-		if !ok {
-			break
-		}
-		paths = append(paths, p)
-		excl.AddPath(p)
-	}
-	return paths
+	return NewRouter(g).SequentialDisjointPaths(src, dst, count, c)
 }

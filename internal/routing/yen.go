@@ -16,7 +16,10 @@ func KShortestPaths(g *topology.Graph, src, dst topology.NodeID, k int, c Constr
 	if k <= 0 || src == dst {
 		return nil
 	}
-	first, ok := ShortestPath(g, src, dst, c)
+	// One router serves every spur search: Yen's runs O(k·hops) shortest-path
+	// queries, so the arena reuse matters here more than anywhere else.
+	r := NewRouter(g)
+	first, ok := r.ShortestPath(src, dst, c)
 	if !ok {
 		return nil
 	}
@@ -71,7 +74,7 @@ func KShortestPaths(g *topology.Graph, src, dst topology.NodeID, k int, c Constr
 					continue
 				}
 			}
-			spurPath, ok := ShortestPath(g, spur, dst, spurC)
+			spurPath, ok := r.ShortestPath(spur, dst, spurC)
 			if !ok {
 				continue
 			}

@@ -223,6 +223,62 @@ func (p Path) SharedComponents(q Path) int {
 		mergeCount(p.sets.sortedNodes, q.sets.sortedNodes)
 }
 
+// PathMarks is a reusable component-membership stamp for one path at a
+// time: Set stamps the path's links and nodes into generation-stamped
+// arrays, and Shared then counts another path's components against the
+// stamp with plain array loads. It computes exactly SharedComponents(set
+// path, q), but amortizes the set-path side, for hot loops that compare one
+// fixed path against many others (the backup-multiplexing admission scan).
+// The zero value is ready to use; not safe for concurrent use.
+type PathMarks struct {
+	gen     uint32
+	linkGen []uint32
+	nodeGen []uint32
+}
+
+// Set stamps p's components, replacing any previously set path. p must be
+// non-zero.
+func (pm *PathMarks) Set(p Path) {
+	g := p.Graph()
+	if len(pm.linkGen) < g.NumLinks() {
+		pm.linkGen = make([]uint32, g.NumLinks())
+	}
+	if len(pm.nodeGen) < g.NumNodes() {
+		pm.nodeGen = make([]uint32, g.NumNodes())
+	}
+	pm.gen++
+	if pm.gen == 0 { // generation wrap: clear the stale stamps
+		clear(pm.linkGen)
+		clear(pm.nodeGen)
+		pm.gen = 1
+	}
+	for _, l := range p.links {
+		pm.linkGen[l] = pm.gen
+	}
+	for _, n := range p.nodes {
+		pm.nodeGen[n] = pm.gen
+	}
+}
+
+// Shared returns SharedComponents(set path, q): the number of q's links and
+// nodes stamped by the last Set. Paths are simple, so counting q's
+// components against the membership stamp equals the sorted-merge
+// intersection size.
+func (pm *PathMarks) Shared(q Path) int {
+	sc := 0
+	for _, l := range q.links {
+		if int(l) < len(pm.linkGen) && pm.linkGen[l] == pm.gen {
+			sc++
+		}
+	}
+	for _, n := range q.nodes {
+		if int(n) < len(pm.nodeGen) && pm.nodeGen[n] == pm.gen {
+			sc++
+		}
+	}
+	return sc
+}
+
 // ComponentDisjoint reports whether the two paths can serve as channels of
 // the same D-connection: they share no links, and every node they share is
 // an end node of *both* paths (the channels of one connection necessarily

@@ -41,6 +41,7 @@ type Graph struct {
 	out      [][]LinkID // out[n] = links leaving node n
 	in       [][]LinkID // in[n] = links entering node n
 	byPair   map[[2]NodeID]LinkID
+	version  uint64 // mutation epoch, bumped by AddLink
 }
 
 // NewGraph creates an empty graph with n nodes and no links.
@@ -74,6 +75,13 @@ func (g *Graph) Link(id LinkID) Link {
 // Links returns all links. The returned slice must not be modified.
 func (g *Graph) Links() []Link { return g.links }
 
+// Version returns the graph's mutation epoch: it increments on every
+// successful AddLink. Derived per-graph caches (routing.Router's arenas and
+// shortest-path trees) record the version they were built at and rebuild
+// when it changes, so a graph still under construction by a generator cannot
+// serve stale cached state.
+func (g *Graph) Version() uint64 { return g.version }
+
 // Out returns the ids of links leaving node n. Must not be modified.
 func (g *Graph) Out(n NodeID) []LinkID { return g.out[n] }
 
@@ -102,6 +110,7 @@ func (g *Graph) AddLink(from, to NodeID, capacity float64) (LinkID, error) {
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
 	g.byPair[key] = id
+	g.version++
 	return id, nil
 }
 
