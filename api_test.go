@@ -189,3 +189,35 @@ func TestPublicSchemeConstants(t *testing.T) {
 		t.Fatal("protocol nil")
 	}
 }
+
+func TestPublicConcurrentSweep(t *testing.T) {
+	g := bcp.NewTorus(4, 4, 200)
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s != d {
+				if _, err := mgr.Establish(bcp.NodeID(s), bcp.NodeID(d), bcp.DefaultSpec(), []int{3}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	failures := bcp.AllSingleLinkFailures(g)
+	opts := bcp.DefaultExperimentOptions()
+	serial := bcp.Sweep(mgr, failures, opts)
+	opts.Workers = 4
+	pooled := bcp.SweepParallel(mgr, failures, opts)
+	if serial.RFast != pooled.RFast || serial.Trials != pooled.Trials {
+		t.Fatalf("parallel sweep %+v != serial %+v", pooled, serial)
+	}
+
+	// A per-goroutine view trials read-only over the manager's shared plan.
+	view := mgr.NewTrialView()
+	f := bcp.SingleLink(failures[0].Links()[0])
+	if got, want := view.Trial(f, bcp.OrderByConn, nil), mgr.Trial(f, bcp.OrderByConn, nil); got.FastRecovered != want.FastRecovered {
+		t.Fatalf("view trial %+v != manager trial %+v", got, want)
+	}
+	if view.PlanEpoch() != mgr.PlanEpoch() {
+		t.Fatal("view and manager disagree on plan epoch")
+	}
+}

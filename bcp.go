@@ -68,8 +68,14 @@ type (
 	// Config parameterizes a Manager.
 	Config = core.Config
 	// Manager is the BCP control plane: establishment, backup
-	// multiplexing, failure trials, recovery.
+	// multiplexing, failure trials, recovery. Its public API is safe for
+	// concurrent use: mutators serialize behind a single-writer lock and
+	// readers run concurrently (see TrialView for scalable sweeps).
 	Manager = core.Manager
+	// TrialView is a cheap per-goroutine read view over a Manager's shared
+	// network plan: create one per sweep worker with Manager.NewTrialView
+	// and call Trial concurrently.
+	TrialView = core.TrialView
 )
 
 // DefaultSpec returns the paper's homogeneous traffic contract: 1 Mbps,
@@ -244,6 +250,8 @@ type (
 	Table1Result = experiment.Table1Result
 	// Table2Result is a Table 2 reproduction.
 	Table2Result = experiment.Table2Result
+	// SweepResult aggregates R_fast over a set of failure trials.
+	SweepResult = experiment.SweepResult
 )
 
 var (
@@ -269,6 +277,18 @@ var (
 	RunAblation = experiment.RunAblation
 	// RunSeverity sweeps R_fast against simultaneous failure counts.
 	RunSeverity = experiment.RunSeverity
+	// Sweep evaluates a failure list serially, aggregating R_fast.
+	Sweep = experiment.Sweep
+	// SweepParallel fans a failure list over a worker pool sharing one
+	// network plan (per-worker TrialViews); results are identical to
+	// Sweep for every worker count.
+	SweepParallel = experiment.SweepParallel
+	// AllSingleLinkFailures enumerates one trial per simplex link.
+	AllSingleLinkFailures = experiment.AllSingleLinkFailures
+	// AllSingleNodeFailures enumerates one trial per node.
+	AllSingleNodeFailures = experiment.AllSingleNodeFailures
+	// AllDoubleNodeFailures enumerates (or samples) node pairs.
+	AllDoubleNodeFailures = experiment.AllDoubleNodeFailures
 )
 
 // DelayModel parameterizes the analytic delay-bound admission test.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -188,6 +189,35 @@ func main() {
 		}
 	}))
 	fmt.Fprintf(os.Stderr, "FailureTrial done\n")
+
+	// SweepParallel: the full single-link failure sweep (224 trials) over the
+	// shared plan of one loaded manager, at increasing pool widths. Workers
+	// trial through per-goroutine TrialViews — no per-worker establishment —
+	// so ns/op should shrink with the pool while B/op stays flat.
+	sweepFailures := bcp.AllSingleLinkFailures(trialMgr.Graph())
+	sweepWidths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	if *workers > 1 {
+		sweepWidths = append(sweepWidths, *workers)
+	}
+	seen := map[int]bool{}
+	for _, w := range sweepWidths {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		opts := bcp.DefaultExperimentOptions()
+		opts.Workers = w
+		results = append(results, measure(fmt.Sprintf("SweepParallel-w%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := bcp.SweepParallel(trialMgr, sweepFailures, opts)
+				if res.Trials != len(sweepFailures) {
+					b.Fatalf("ran %d trials, want %d", res.Trials, len(sweepFailures))
+				}
+			}
+		}))
+	}
+	fmt.Fprintf(os.Stderr, "SweepParallel done\n")
 
 	if *workers > 1 {
 		opts := bcp.DefaultExperimentOptions()

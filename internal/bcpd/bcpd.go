@@ -11,6 +11,13 @@
 // (Figure 5), spare-bandwidth claims with multiplexing failures, soft-state
 // rejoin timers and channel repair (Figure 6), and the data-message loss of
 // Figure 8.
+//
+// The daemons mutate the shared resource plane only through core.Manager's
+// public entry points (claims, activation, teardown, rejoin), which
+// serialize behind the manager's single-writer lock — so the simulation can
+// coexist with concurrent read-side users of the same manager (e.g. failure
+// sweeps through TrialViews), though the event loop itself is
+// single-threaded.
 package bcpd
 
 import (

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/rtcl/bcp/internal/routing"
 	"github.com/rtcl/bcp/internal/rtchan"
@@ -109,33 +110,49 @@ func (d *DConnection) Channels() []*rtchan.Channel {
 	return append(out, d.Backups...)
 }
 
-// Manager is the BCP control plane for one network.
+// Manager is the BCP control plane for one network. It owns a shared
+// NetworkPlan (the state the paper computes its tables from) plus the
+// writer-side machinery that mutates it.
 //
-// A Manager is not safe for concurrent use: mutation methods obviously so,
-// and even read-mostly entry points (Trial, CheckMuxInvariants) reuse
-// internal scratch buffers and lazily-maintained caches. Concurrent sweeps
-// build one Manager per worker (see internal/experiment).
+// Concurrency model (see DESIGN.md "Concurrency model"): the public API is
+// safe for concurrent use. Mutating entry points (Establish, Teardown,
+// Apply, the protocol-plane claim/activation calls, ...) serialize behind a
+// single-writer lock; read entry points take the reader side, so any number
+// of them may run during quiescence and none during a write. Failure-sweep
+// workers should each hold their own TrialView (NewTrialView): Trial via a
+// view is a pure read over the shared plan with per-goroutine scratch, so
+// sweeps scale with cores without rebuilding per-worker managers.
+//
+// Two escape hatches bypass the lock and are writer-side or quiescent-only:
+// Router (routing scratch arenas) and Network (the reservation substrate,
+// read by experiments after establishment settles).
 type Manager struct {
-	cfg      Config
-	net      *rtchan.Network
-	conns    map[rtchan.ConnID]*DConnection
-	order    []rtchan.ConnID // establishment order, for deterministic iteration
-	mux      []linkMux       // one per link
+	// mu is the single-writer boundary: every mutating entry point holds it
+	// exclusively, every reading entry point (and every TrialView trial)
+	// holds it shared. Internal methods never lock — public wrappers lock
+	// once and delegate, so the lock is never re-entered.
+	mu   sync.RWMutex
+	plan NetworkPlan
+
 	nextConn rtchan.ConnID
-	scache   *sCache      // memoized S(Bi,Bj) per connection pair
-	qpowTab  []float64          // (1-λ)^k by k, backing the fast S evaluation
-	trial    trialScratch       // reusable failure-trial buffers
 	muxDec   muxDecisionScratch // per-addBackup mutualExclusion memo
 	// piMarks stamps the primary path of the backup being added, so the
 	// admission scan's shared-component counts are array loads (decideMux).
 	piMarks topology.PathMarks
-	// router owns the routing scratch arenas and the per-source SPT cache;
-	// one per manager, matching the one-manager-per-worker concurrency rule.
+	// router owns the routing scratch arenas and the per-source SPT cache.
+	// It is writer-side state: establishment and recovery route under the
+	// exclusive lock, and external Router() callers must not overlap writes.
 	router *routing.Router
 	// estExcl is the establishment-path exclusion set, reset per use. It is
 	// shared by Establish and ReplenishBackups (never live at once); entry
 	// points that interleave with Establish keep their own (see pr.go).
 	estExcl *routing.Exclusion
+
+	// trial backs the Manager's own serial Trial entry point; trialMu keeps
+	// that entry point safe against itself (concurrent sweeps should prefer
+	// per-goroutine TrialViews, which don't contend on it).
+	trialMu sync.Mutex
+	trial   trialScratch
 }
 
 // NewManager creates a BCP manager over an empty reservation network for g.
@@ -144,41 +161,70 @@ func NewManager(g *topology.Graph, cfg Config) *Manager {
 		panic(fmt.Sprintf("core: lambda %g out of (0,1)", cfg.Lambda))
 	}
 	m := &Manager{
-		cfg:      cfg,
-		net:      rtchan.NewNetwork(g),
-		conns:    make(map[rtchan.ConnID]*DConnection),
-		mux:      make([]linkMux, g.NumLinks()),
+		plan: NetworkPlan{
+			cfg:    cfg,
+			net:    rtchan.NewNetwork(g),
+			conns:  make(map[rtchan.ConnID]*DConnection),
+			mux:    make([]linkMux, g.NumLinks()),
+			scache: newSCache(),
+		},
 		nextConn: 1,
-		scache:   newSCache(),
 		router:   routing.NewRouter(g),
 		estExcl:  routing.NewExclusion(),
 	}
 	return m
 }
 
+// beginWrite enters the single-writer critical section and advances the
+// plan's write-transaction epoch; the returned function leaves the section.
+// Every mutating entry point opens with `defer m.beginWrite()()` and then
+// only calls unexported (lockless) methods, so the lock is never re-entered.
+func (m *Manager) beginWrite() func() {
+	m.mu.Lock()
+	m.plan.epoch++
+	return m.mu.Unlock
+}
+
 // Network exposes the reservation substrate (read-mostly; experiments use
-// it for metrics).
-func (m *Manager) Network() *rtchan.Network { return m.net }
+// it for metrics). The pointer is stable for the manager's lifetime; its
+// contents change under writes, so callers must not read it concurrently
+// with mutating Manager calls.
+func (m *Manager) Network() *rtchan.Network { return m.plan.net }
 
 // Graph returns the topology.
-func (m *Manager) Graph() *topology.Graph { return m.net.Graph() }
+func (m *Manager) Graph() *topology.Graph { return m.plan.net.Graph() }
 
 // Config returns the manager's configuration.
-func (m *Manager) Config() Config { return m.cfg }
+func (m *Manager) Config() Config { return m.plan.cfg }
 
-// Router exposes the manager's routing engine. Like the manager itself it
-// is single-threaded; concurrent sweeps build one manager (and hence one
-// router) per worker.
+// Router exposes the manager's routing engine. The router's scratch arenas
+// are writer-side state: external callers must not use it concurrently with
+// any Manager call that routes (Establish, ReplenishBackups, ...).
 func (m *Manager) Router() *routing.Router { return m.router }
 
+// PlanEpoch returns the plan's write-transaction counter: it advances on
+// every mutating entry point, so two equal readings bracket a span with no
+// intervening writes (the control-plane analogue of Graph.Version).
+func (m *Manager) PlanEpoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.plan.epoch
+}
+
 // Connection returns the D-connection with the given id, or nil.
-func (m *Manager) Connection(id rtchan.ConnID) *DConnection { return m.conns[id] }
+func (m *Manager) Connection(id rtchan.ConnID) *DConnection {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.plan.conns[id]
+}
 
 // Connections returns all live D-connections in establishment order.
 func (m *Manager) Connections() []*DConnection {
-	out := make([]*DConnection, 0, len(m.conns))
-	for _, id := range m.order {
-		if c, ok := m.conns[id]; ok {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*DConnection, 0, len(m.plan.conns))
+	for _, id := range m.plan.order {
+		if c, ok := m.plan.conns[id]; ok {
 			out = append(out, c)
 		}
 	}
@@ -186,7 +232,11 @@ func (m *Manager) Connections() []*DConnection {
 }
 
 // NumConnections returns the number of live D-connections.
-func (m *Manager) NumConnections() int { return len(m.conns) }
+func (m *Manager) NumConnections() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.plan.conns)
+}
 
 // constraintForPrimary builds the admission-aware routing constraint for a
 // primary channel: every link must have bw free, and the path must respect
@@ -194,9 +244,9 @@ func (m *Manager) NumConnections() int { return len(m.conns) }
 func (m *Manager) constraintForPrimary(bw float64, maxHops int) routing.Constraint {
 	return routing.Constraint{
 		MaxHops:  maxHops,
-		TieBreak: m.cfg.TieBreak,
+		TieBreak: m.plan.cfg.TieBreak,
 		LinkAllowed: func(l topology.LinkID) bool {
-			return m.net.Free(l) >= bw-1e-9
+			return m.plan.net.Free(l) >= bw-1e-9
 		},
 	}
 }

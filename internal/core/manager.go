@@ -20,6 +20,11 @@ import (
 // admitted, no state is left behind and the request is rejected, matching
 // the paper's client-negotiation model.
 func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, degrees []int) (*DConnection, error) {
+	defer m.beginWrite()()
+	return m.establish(src, dst, spec, degrees)
+}
+
+func (m *Manager) establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, degrees []int) (*DConnection, error) {
 	if src == dst {
 		return nil, fmt.Errorf("core: src == dst (%d)", src)
 	}
@@ -40,14 +45,14 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 	undo := func() {
 		for _, b := range conn.Backups {
 			m.removeBackup(b)
-			_ = m.net.Teardown(b.ID)
+			_ = m.plan.net.Teardown(b.ID)
 		}
 		if conn.Primary != nil {
-			_ = m.net.Teardown(conn.Primary.ID)
+			_ = m.plan.net.Teardown(conn.Primary.ID)
 		}
 		// The ID is not consumed on rejection: the next attempt reuses it
 		// with a different primary, so cached S values must not survive.
-		m.scache.bump(conn.ID)
+		m.plan.scache.bump(conn.ID)
 	}
 
 	// Route the primary.
@@ -60,16 +65,16 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 	// admission test: the candidate's own bound must hold, and admitting it
 	// must not break any established channel's contract.
 	if spec.DelayBound > 0 {
-		model := m.cfg.DelayModel
+		model := m.plan.cfg.DelayModel
 		if model.ControlFrameSize == 0 {
 			model = rtchan.DefaultDelayModel()
 		}
-		if bound, ok := m.net.DelayAdmission(pPath, spec, model); !ok {
+		if bound, ok := m.plan.net.DelayAdmission(pPath, spec, model); !ok {
 			return nil, fmt.Errorf("core: delay admission failed for %d->%d: bound %v vs contract %v",
 				src, dst, bound, spec.DelayBound)
 		}
 	}
-	prim, err := m.net.Establish(conn.ID, rtchan.RolePrimary, 0, pPath, spec)
+	prim, err := m.plan.net.Establish(conn.ID, rtchan.RolePrimary, 0, pPath, spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: primary admission: %w", err)
 	}
@@ -84,7 +89,7 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 			undo()
 			return nil, fmt.Errorf("core: no feasible disjoint path for backup %d of %d->%d", i+1, src, dst)
 		}
-		bch, err := m.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
+		bch, err := m.plan.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
 		if err != nil {
 			undo()
 			return nil, fmt.Errorf("core: backup %d admission: %w", i+1, err)
@@ -98,8 +103,8 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 		excl.AddPath(bPath)
 	}
 
-	m.conns[conn.ID] = conn
-	m.order = append(m.order, conn.ID)
+	m.plan.conns[conn.ID] = conn
+	m.plan.order = append(m.plan.order, conn.ID)
 	m.nextConn++
 	return conn, nil
 }
@@ -116,34 +121,34 @@ func (m *Manager) routePrimary(src, dst topology.NodeID, bw float64, maxHops int
 // when RouteLoadAware is configured.
 func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, primary topology.Path, excl *routing.Exclusion) (topology.Path, bool) {
 	feasible := routing.Constraint{
-		TieBreak: m.cfg.TieBreak,
+		TieBreak: m.plan.cfg.TieBreak,
 		LinkAllowed: func(l topology.LinkID) bool {
-			return m.net.Free(l) >= bw-1e-9
+			return m.plan.net.Free(l) >= bw-1e-9
 		},
 	}
 	c := excl.Constrain(feasible)
-	if m.cfg.BackupRouting == RouteMaxFlow {
+	if m.plan.cfg.BackupRouting == RouteMaxFlow {
 		paths := m.router.MaxDisjointPaths(src, dst, 1, c)
 		if len(paths) == 0 {
 			return topology.Path{}, false
 		}
 		return paths[0], true
 	}
-	if m.cfg.BackupSlackHops >= 0 {
+	if m.plan.cfg.BackupSlackHops >= 0 {
 		// QoS bound for the backup: after activation it carries the primary
 		// traffic, so its length is bounded relative to the shortest
 		// disjoint path regardless of current bandwidth availability. Only
 		// the length is needed, so skip the backtrack and materialization.
 		unconstrained := excl.Constrain(routing.Constraint{})
 		if hops := m.router.ShortestDistance(src, dst, unconstrained); hops >= 0 {
-			c.MaxHops = hops + m.cfg.BackupSlackHops
+			c.MaxHops = hops + m.plan.cfg.BackupSlackHops
 		}
 	}
-	if m.cfg.BackupRouting == RouteLoadAware && !primary.IsZero() {
+	if m.plan.cfg.BackupRouting == RouteLoadAware && !primary.IsZero() {
 		// [HAN97b]: weight each link by the spare-pool growth the backup
 		// would cause there, plus a small per-hop cost so ties (zero-growth
 		// corridors) still prefer short paths.
-		nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+		nu := reliability.NuForDegree(m.plan.cfg.Lambda, alpha)
 		ps := m.newProspectiveS(primary)
 		w := func(l topology.LinkID) float64 {
 			return 0.05*bw + m.prospectiveSpareIncrease(l, ps, bw, nu)
@@ -166,6 +171,7 @@ func (m *Manager) routeBackup(src, dst topology.NodeID, bw float64, alpha int, p
 // degrades the connection's Pr. Callers wanting the guarantee should check
 // Path.ComponentDisjoint themselves.
 func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Path, backups []topology.Path, degrees []int) (*DConnection, error) {
+	defer m.beginWrite()()
 	if len(backups) != len(degrees) {
 		return nil, fmt.Errorf("core: %d backup paths but %d degrees", len(backups), len(degrees))
 	}
@@ -181,15 +187,15 @@ func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Pat
 	undo := func() {
 		for _, b := range conn.Backups {
 			m.removeBackup(b)
-			_ = m.net.Teardown(b.ID)
+			_ = m.plan.net.Teardown(b.ID)
 		}
 		if conn.Primary != nil {
-			_ = m.net.Teardown(conn.Primary.ID)
+			_ = m.plan.net.Teardown(conn.Primary.ID)
 		}
 		// See Establish: the rejected ID will be reused by the next attempt.
-		m.scache.bump(conn.ID)
+		m.plan.scache.bump(conn.ID)
 	}
-	prim, err := m.net.Establish(conn.ID, rtchan.RolePrimary, 0, primary, spec)
+	prim, err := m.plan.net.Establish(conn.ID, rtchan.RolePrimary, 0, primary, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +205,7 @@ func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Pat
 			undo()
 			return nil, fmt.Errorf("core: backup %d endpoints mismatch", i+1)
 		}
-		bch, err := m.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
+		bch, err := m.plan.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
 		if err != nil {
 			undo()
 			return nil, err
@@ -211,8 +217,8 @@ func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Pat
 			return nil, err
 		}
 	}
-	m.conns[conn.ID] = conn
-	m.order = append(m.order, conn.ID)
+	m.plan.conns[conn.ID] = conn
+	m.plan.order = append(m.plan.order, conn.ID)
 	m.nextConn++
 	return conn, nil
 }
@@ -224,9 +230,11 @@ func (m *Manager) EstablishOnPaths(spec rtchan.TrafficSpec, primary topology.Pat
 // connection has target backups (or routing/admission fails). avoid, when
 // non-nil, excludes additional links — the protocol layer passes the
 // components it currently knows to be failed, which the resource plane does
-// not track itself. It returns the number of backups added.
+// not track itself. avoid is invoked inside the write transaction and must
+// not call back into the Manager. It returns the number of backups added.
 func (m *Manager) ReplenishBackups(id rtchan.ConnID, target, alpha int, avoid func(topology.LinkID) bool) (int, error) {
-	conn, ok := m.conns[id]
+	defer m.beginWrite()()
+	conn, ok := m.plan.conns[id]
 	if !ok {
 		return 0, fmt.Errorf("core: unknown connection %d", id)
 	}
@@ -251,12 +259,12 @@ func (m *Manager) ReplenishBackups(id rtchan.ConnID, target, alpha int, avoid fu
 		if !ok {
 			break
 		}
-		bch, err := m.net.Establish(id, rtchan.RoleBackup, len(conn.Backups)+1, bPath, conn.Spec)
+		bch, err := m.plan.net.Establish(id, rtchan.RoleBackup, len(conn.Backups)+1, bPath, conn.Spec)
 		if err != nil {
 			break
 		}
 		if err := m.addBackup(conn, bch, alpha); err != nil {
-			_ = m.net.Teardown(bch.ID)
+			_ = m.plan.net.Teardown(bch.ID)
 			break
 		}
 		conn.Backups = append(conn.Backups, bch)
@@ -268,22 +276,27 @@ func (m *Manager) ReplenishBackups(id rtchan.ConnID, target, alpha int, avoid fu
 
 // Teardown releases every channel of a D-connection (§4.4 channel-closure).
 func (m *Manager) Teardown(id rtchan.ConnID) error {
-	conn, ok := m.conns[id]
+	defer m.beginWrite()()
+	return m.teardown(id)
+}
+
+func (m *Manager) teardown(id rtchan.ConnID) error {
+	conn, ok := m.plan.conns[id]
 	if !ok {
 		return fmt.Errorf("core: unknown connection %d", id)
 	}
 	for _, b := range conn.Backups {
 		m.removeBackup(b)
-		if err := m.net.Teardown(b.ID); err != nil {
+		if err := m.plan.net.Teardown(b.ID); err != nil {
 			return err
 		}
 	}
 	if conn.Primary != nil {
-		if err := m.net.Teardown(conn.Primary.ID); err != nil {
+		if err := m.plan.net.Teardown(conn.Primary.ID); err != nil {
 			return err
 		}
 	}
-	delete(m.conns, id)
-	m.scache.forget(id)
+	delete(m.plan.conns, id)
+	m.plan.scache.forget(id)
 	return nil
 }

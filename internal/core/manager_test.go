@@ -37,7 +37,7 @@ func TestEstablishRoutesDisjointChannels(t *testing.T) {
 	if err := m.CheckMuxInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.net.CheckInvariants(); err != nil {
+	if err := m.plan.net.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -66,7 +66,7 @@ func TestEstablishRejectsWhenNoDisjointBackup(t *testing.T) {
 		t.Fatal("failed establish left a connection")
 	}
 	for _, l := range g.Links() {
-		if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+		if m.plan.net.Dedicated(l.ID) != 0 || m.plan.net.Spare(l.ID) != 0 {
 			t.Fatal("failed establish left reservations")
 		}
 	}
@@ -102,7 +102,7 @@ func TestEstablishZeroBackups(t *testing.T) {
 	if len(conn.Backups) != 0 {
 		t.Fatal("unexpected backups")
 	}
-	if m.net.SpareFraction() != 0 {
+	if m.plan.net.SpareFraction() != 0 {
 		t.Fatal("spare reserved without backups")
 	}
 }
@@ -142,7 +142,7 @@ func TestTieBreakSpreadsLoad(t *testing.T) {
 	maxLoad := func(m *Manager) float64 {
 		var mx float64
 		for _, l := range g.Links() {
-			if d := m.net.Dedicated(l.ID); d > mx {
+			if d := m.plan.net.Dedicated(l.ID); d > mx {
 				mx = d
 			}
 		}
@@ -226,18 +226,18 @@ func TestFullTorusEstablishment(t *testing.T) {
 	if count != 4032 {
 		t.Fatalf("connections = %d", count)
 	}
-	load := m.net.NetworkLoad()
+	load := m.plan.net.NetworkLoad()
 	if load < 0.30 || load > 0.40 {
 		t.Fatalf("network load = %.3f, paper reports 0.33-0.34", load)
 	}
-	spare := m.net.SpareFraction()
+	spare := m.plan.net.SpareFraction()
 	if spare < 0.10 || spare > 0.40 {
 		t.Fatalf("spare fraction = %.3f, out of plausible range", spare)
 	}
 	if err := m.CheckMuxInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.net.CheckInvariants(); err != nil {
+	if err := m.plan.net.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("torus mux=3: load=%.4f spare=%.4f", load, spare)
@@ -276,7 +276,7 @@ func TestRandomChurnKeepsInvariants(t *testing.T) {
 			if err := m.CheckMuxInvariants(); err != nil {
 				t.Fatalf("step %d: %v", step, err)
 			}
-			if err := m.net.CheckInvariants(); err != nil {
+			if err := m.plan.net.CheckInvariants(); err != nil {
 				t.Fatalf("step %d: %v", step, err)
 			}
 		}
@@ -288,9 +288,9 @@ func TestRandomChurnKeepsInvariants(t *testing.T) {
 		}
 	}
 	for _, l := range g.Links() {
-		if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+		if m.plan.net.Dedicated(l.ID) != 0 || m.plan.net.Spare(l.ID) != 0 {
 			t.Fatalf("link %d dirty after drain: dedicated=%g spare=%g",
-				l.ID, m.net.Dedicated(l.ID), m.net.Spare(l.ID))
+				l.ID, m.plan.net.Dedicated(l.ID), m.plan.net.Spare(l.ID))
 		}
 	}
 }

@@ -136,7 +136,7 @@ func (m *Manager) mutualExclusion(a, b *muxEntry) (aCountsB, bCountsA bool) {
 		return true, true
 	}
 	s := m.pairS(a.conn, b.conn)
-	if m.cfg.DisablePiDegreeRestriction {
+	if m.plan.cfg.DisablePiDegreeRestriction {
 		return s >= a.nu, s >= b.nu
 	}
 	aCountsB = b.nu <= a.nu && s >= a.nu
@@ -215,7 +215,7 @@ func (m *Manager) decideMux(e, entry *muxEntry) (eCountsNew, newCountsE bool) {
 	}
 	sc := m.piMarks.Shared(pe.Path)
 	s := m.simS(pe.Path.NumComponents(), entry.conn.Primary.Path.NumComponents(), sc)
-	if m.cfg.DisablePiDegreeRestriction {
+	if m.plan.cfg.DisablePiDegreeRestriction {
 		return s >= e.nu, s >= entry.nu
 	}
 	eCountsNew = entry.nu <= e.nu && s >= e.nu
@@ -228,13 +228,13 @@ func (m *Manager) decideMux(e, entry *muxEntry) (eCountsNew, newCountsE bool) {
 // unchanged. Must run inside an addBackup call: the decision fast path
 // reads the primary stamp addBackup set up.
 func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtchan.Channel, alpha int) error {
-	lm := &m.mux[l]
+	lm := &m.plan.mux[l]
 	bw := ch.Bandwidth()
 	entry := muxEntry{
 		ch:    ch,
 		conn:  conn,
 		alpha: alpha,
-		nu:    reliability.NuForDegree(m.cfg.Lambda, alpha),
+		nu:    reliability.NuForDegree(m.plan.cfg.Lambda, alpha),
 		req:   bw,
 	}
 	// Decisions are reusable across links only within the addBackup call
@@ -270,7 +270,7 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 	lm.noteReq(entry.req)
 	need := lm.requiredSpare()
 	if need > lm.spare {
-		if err := m.net.SetSpare(l, need); err != nil {
+		if err := m.plan.net.SetSpare(l, need); err != nil {
 			// Roll back. The undone growth may have held the cached max.
 			lm.removeAt(len(lm.entries) - 1)
 			for i := range lm.entries {
@@ -290,7 +290,7 @@ func (m *Manager) addBackupToLink(l topology.LinkID, conn *DConnection, ch *rtch
 // removeBackupFromLink unregisters backup ch from link l, shrinking the
 // spare pool if possible. Shrinking cannot fail.
 func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
-	lm := &m.mux[l]
+	lm := &m.plan.mux[l]
 	idx := lm.find(ch.ID)
 	if idx < 0 {
 		return
@@ -311,7 +311,7 @@ func (m *Manager) removeBackupFromLink(l topology.LinkID, ch *rtchan.Channel) {
 		if need < lm.claimed {
 			need = lm.claimed
 		}
-		if err := m.net.SetSpare(l, need); err != nil {
+		if err := m.plan.net.SetSpare(l, need); err != nil {
 			panic("core: shrinking spare failed: " + err.Error())
 		}
 		lm.spare = need
@@ -350,10 +350,16 @@ func (m *Manager) removeBackup(ch *rtchan.Channel) {
 // of backups multiplexed with it (all backups on the link minus Π minus the
 // backup itself). Feeds the P_muxf bound of §3.3.
 func (m *Manager) PsiSizes(ch *rtchan.Channel) []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.psiSizes(ch)
+}
+
+func (m *Manager) psiSizes(ch *rtchan.Channel) []int {
 	links := ch.Path.Links()
 	out := make([]int, len(links))
 	for i, l := range links {
-		lm := &m.mux[l]
+		lm := &m.plan.mux[l]
 		idx := lm.find(ch.ID)
 		if idx < 0 {
 			continue
@@ -368,10 +374,18 @@ func (m *Manager) PsiSizes(ch *rtchan.Channel) []int {
 }
 
 // BackupsOnLink returns the number of backup channels registered on link l.
-func (m *Manager) BackupsOnLink(l topology.LinkID) int { return len(m.mux[l].entries) }
+func (m *Manager) BackupsOnLink(l topology.LinkID) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.plan.mux[l].entries)
+}
 
 // SpareOnLink returns the committed spare reservation on link l.
-func (m *Manager) SpareOnLink(l topology.LinkID) float64 { return m.mux[l].spare }
+func (m *Manager) SpareOnLink(l topology.LinkID) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.plan.mux[l].spare
+}
 
 // prospectiveSpareIncrease predicts how much link l's spare pool would grow
 // if a backup with the given bandwidth, threshold ν, and primary path (held
@@ -379,7 +393,7 @@ func (m *Manager) SpareOnLink(l topology.LinkID) float64 { return m.mux[l].spare
 // backup routing (RouteLoadAware). ps memoizes S per established connection
 // across the candidate links of one routing search.
 func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, ps *prospectiveS, bw, nu float64) float64 {
-	lm := &m.mux[l]
+	lm := &m.plan.mux[l]
 	newReq := bw
 	maxGrown := 0.0
 	for i := range lm.entries {
@@ -389,7 +403,7 @@ func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, ps *prospectiveS, 
 		}
 		s := ps.forConn(e.conn)
 		var newInE, eInNew bool
-		if m.cfg.DisablePiDegreeRestriction {
+		if m.plan.cfg.DisablePiDegreeRestriction {
 			newInE, eInNew = s >= e.nu, s >= nu
 		} else {
 			newInE = nu <= e.nu && s >= e.nu
@@ -413,7 +427,7 @@ func (m *Manager) prospectiveSpareIncrease(l topology.LinkID, ps *prospectiveS, 
 // used by reconfiguration after primaries change (an activated backup's new
 // primary path changes every S involving that connection).
 func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
-	lm := &m.mux[l]
+	lm := &m.plan.mux[l]
 	for i := range lm.entries {
 		e := &lm.entries[i]
 		e.pi = e.pi[:0] // reuse the allocated slice instead of reallocating
@@ -421,8 +435,8 @@ func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 	}
 	// Reconfiguration touches many links sharing the same connection pairs;
 	// let their S values populate the pair cache.
-	m.scache.admit = true
-	defer func() { m.scache.admit = false }()
+	m.plan.scache.admit = true
+	defer func() { m.plan.scache.admit = false }()
 	// Each unordered entry pair once; the result is order-independent (a
 	// pure function of the entry set).
 	for i := range lm.entries {
@@ -442,7 +456,7 @@ func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 	}
 	lm.reqDirty = true // rebuilt from scratch; rescan the fresh requirements
 	need := math.Max(lm.requiredSpare(), lm.claimed)
-	if err := m.net.SetSpare(l, need); err != nil {
+	if err := m.plan.net.SetSpare(l, need); err != nil {
 		return err
 	}
 	lm.spare = need
@@ -454,8 +468,13 @@ func (m *Manager) recomputeLinkMux(l topology.LinkID) error {
 // cross-checks the incremental caches (the per-link max requirement and the
 // pairwise S memo) against from-scratch recomputation.
 func (m *Manager) CheckMuxInvariants() error {
-	for l := range m.mux {
-		lm := &m.mux[l]
+	// Exclusive, not shared: requiredSpare may service a deferred rescan
+	// (writing lm.maxReq), so this "read-only" check is a writer to the
+	// incremental caches it validates.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for l := range m.plan.mux {
+		lm := &m.plan.mux[l]
 		if !lm.reqDirty {
 			var max float64
 			for i := range lm.entries {
@@ -470,7 +489,7 @@ func (m *Manager) CheckMuxInvariants() error {
 		if lm.spare+1e-9 < lm.requiredSpare() && lm.claimed == 0 {
 			return fmt.Errorf("core: link %d spare %g below requirement %g", l, lm.spare, lm.requiredSpare())
 		}
-		if got := m.net.Spare(topology.LinkID(l)); math.Abs(got-lm.spare) > 1e-6 {
+		if got := m.plan.net.Spare(topology.LinkID(l)); math.Abs(got-lm.spare) > 1e-6 {
 			return fmt.Errorf("core: link %d spare mirror drift: mux=%g rtchan=%g", l, lm.spare, got)
 		}
 		for ei := range lm.entries {
@@ -498,7 +517,7 @@ func (m *Manager) CheckMuxInvariants() error {
 				// The ν-ordering rule applies between connections that both
 				// have primaries; a primary-less connection (mid-recovery
 				// rejoin) is counted conservatively from both sides.
-				if !m.cfg.DisablePiDegreeRestriction && pe.nu > e.nu+1e-18 && pe.conn.ID != e.conn.ID &&
+				if !m.plan.cfg.DisablePiDegreeRestriction && pe.nu > e.nu+1e-18 && pe.conn.ID != e.conn.ID &&
 					pe.conn.Primary != nil && e.conn.Primary != nil {
 					return fmt.Errorf("core: link %d entry %d counts peer %d with larger ν", l, id, peer)
 				}
@@ -510,13 +529,13 @@ func (m *Manager) CheckMuxInvariants() error {
 	}
 	// Every current cache entry must match a fresh S computation; entries
 	// with stale epochs or dead connections are unreachable and exempt.
-	for k, v := range m.scache.entries {
+	for k, v := range m.plan.scache.entries {
 		lo, hi := rtchan.ConnID(k>>32), rtchan.ConnID(uint32(k))
-		a, b := m.conns[lo], m.conns[hi]
+		a, b := m.plan.conns[lo], m.plan.conns[hi]
 		if a == nil || b == nil || a.Primary == nil || b.Primary == nil {
 			continue
 		}
-		if v.epLo != m.scache.epoch(lo) || v.epHi != m.scache.epoch(hi) {
+		if v.epLo != m.plan.scache.epoch(lo) || v.epHi != m.plan.scache.epoch(hi) {
 			continue
 		}
 		if want := m.referenceS(a, b); math.Abs(want-v.s) > 1e-15 {

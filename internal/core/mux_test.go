@@ -42,15 +42,15 @@ func TestSingleBackupSparesOwnBandwidth(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, l := range conn.Backups[0].Path.Links() {
-		if got := m.net.Spare(l); got != 1 {
+		if got := m.plan.net.Spare(l); got != 1 {
 			t.Fatalf("spare on backup link %d = %g, want 1", l, got)
 		}
 	}
 	for _, l := range conn.Primary.Path.Links() {
-		if got := m.net.Dedicated(l); got != 1 {
+		if got := m.plan.net.Dedicated(l); got != 1 {
 			t.Fatalf("dedicated on primary link %d = %g, want 1", l, got)
 		}
-		if got := m.net.Spare(l); got != 0 {
+		if got := m.plan.net.Spare(l); got != 0 {
 			t.Fatalf("spare on primary link %d = %g, want 0", l, got)
 		}
 	}
@@ -73,7 +73,7 @@ func TestDisjointPrimariesMultiplex(t *testing.T) {
 		t.Fatal(err)
 	}
 	shared := g.LinkBetween(3, 4)
-	if got := m.net.Spare(shared); got != 1 {
+	if got := m.plan.net.Spare(shared); got != 1 {
 		t.Fatalf("multiplexed spare = %g, want 1", got)
 	}
 	if got := m.BackupsOnLink(shared); got != 2 {
@@ -98,7 +98,7 @@ func TestOverlappingPrimariesDoNotMultiplex(t *testing.T) {
 		t.Fatal(err)
 	}
 	shared := g.LinkBetween(4, 5)
-	if got := m.net.Spare(shared); got != 2 {
+	if got := m.plan.net.Spare(shared); got != 2 {
 		t.Fatalf("non-multiplexed spare = %g, want 2", got)
 	}
 	if err := m.CheckMuxInvariants(); err != nil {
@@ -124,7 +124,7 @@ func TestMuxDegreeSeparatesLinkSharing(t *testing.T) {
 	// Π is restricted to peers with no greater degree: the mux=1 backup
 	// ignores the mux=4 peer (req=1), and the mux=4 backup sees S=3λ below
 	// its ν=3.5λ so it multiplexes (req=1). Spare = max(1,1) = 1.
-	if got := m.net.Spare(shared); got != 1 {
+	if got := m.plan.net.Spare(shared); got != 1 {
 		t.Fatalf("spare = %g, want 1", got)
 	}
 	if err := m.CheckMuxInvariants(); err != nil {
@@ -141,7 +141,7 @@ func TestMuxDegreeSeparatesLinkSharing(t *testing.T) {
 		[]topology.Path{path(1, 4, 5)}, []int{3}); err != nil {
 		t.Fatal(err)
 	}
-	if got := m2.net.Spare(shared); got != 2 {
+	if got := m2.plan.net.Spare(shared); got != 2 {
 		t.Fatalf("mux=3 spare = %g, want 2", got)
 	}
 }
@@ -158,7 +158,7 @@ func TestMuxZeroDisablesSharing(t *testing.T) {
 		}
 	}
 	shared := g.LinkBetween(3, 4)
-	if got := m.net.Spare(shared); got != 2 {
+	if got := m.plan.net.Spare(shared); got != 2 {
 		t.Fatalf("mux=0 spare = %g, want 2 (no sharing)", got)
 	}
 }
@@ -226,20 +226,20 @@ func TestTeardownRestoresSpare(t *testing.T) {
 		t.Fatal(err)
 	}
 	shared := g.LinkBetween(4, 5)
-	if got := m.net.Spare(shared); got != 2 {
+	if got := m.plan.net.Spare(shared); got != 2 {
 		t.Fatalf("spare = %g, want 2", got)
 	}
 	if err := m.Teardown(c1.ID); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.net.Spare(shared); got != 1 {
+	if got := m.plan.net.Spare(shared); got != 1 {
 		t.Fatalf("spare after teardown = %g, want 1", got)
 	}
 	if err := m.Teardown(c2.ID); err != nil {
 		t.Fatal(err)
 	}
 	for _, l := range g.Links() {
-		if m.net.Spare(l.ID) != 0 || m.net.Dedicated(l.ID) != 0 {
+		if m.plan.net.Spare(l.ID) != 0 || m.plan.net.Dedicated(l.ID) != 0 {
 			t.Fatalf("link %d not clean after teardown", l.ID)
 		}
 	}
@@ -283,7 +283,7 @@ func TestSpareAdmissionRejectsOvercommit(t *testing.T) {
 		t.Fatal("overcommitting backup accepted")
 	}
 	// State must be fully rolled back.
-	if got := m.net.Spare(g.LinkBetween(0, 3)); got != 1 {
+	if got := m.plan.net.Spare(g.LinkBetween(0, 3)); got != 1 {
 		t.Fatalf("rollback left spare %g, want 1", got)
 	}
 	if m.NumConnections() != 1 {

@@ -14,19 +14,25 @@ import (
 // that within one time unit either the primary survives, or some backup
 // survives both component failures and multiplexing failures.
 func (m *Manager) ConnectionPr(conn *DConnection) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.connectionPr(conn)
+}
+
+func (m *Manager) connectionPr(conn *DConnection) float64 {
 	if conn.Primary == nil {
 		return 0
 	}
 	backups := make([]reliability.BackupInfo, 0, len(conn.Backups))
 	for i, b := range conn.Backups {
-		nu := reliability.NuForDegree(m.cfg.Lambda, degreeAt(conn, i))
-		pmux := reliability.MuxFailureBound(nu, m.PsiSizes(b))
+		nu := reliability.NuForDegree(m.plan.cfg.Lambda, degreeAt(conn, i))
+		pmux := reliability.MuxFailureBound(nu, m.psiSizes(b))
 		backups = append(backups, reliability.BackupInfo{
 			Components: b.Path.NumComponents(),
 			PMuxFail:   pmux,
 		})
 	}
-	return reliability.Pr(m.cfg.Lambda, conn.Primary.Path.NumComponents(), backups)
+	return reliability.Pr(m.plan.cfg.Lambda, conn.Primary.Path.NumComponents(), backups)
 }
 
 func degreeAt(conn *DConnection, i int) int {
@@ -41,16 +47,16 @@ func degreeAt(conn *DConnection, i int) int {
 // alpha — the information the paper's reservation message collects on its
 // forward pass "with various ν values" (§3.4).
 func (m *Manager) prospectivePsiSizes(primary, bPath topology.Path, alpha int) []int {
-	nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+	nu := reliability.NuForDegree(m.plan.cfg.Lambda, alpha)
 	links := bPath.Links()
 	out := make([]int, len(links))
 	for i, l := range links {
-		lm := &m.mux[l]
+		lm := &m.plan.mux[l]
 		psi := 0
 		for ei := range lm.entries {
 			e := &lm.entries[ei]
 			s := reliability.SimultaneousActivation(
-				m.cfg.Lambda,
+				m.plan.cfg.Lambda,
 				primary.NumComponents(),
 				e.conn.Primary.Path.NumComponents(),
 				primary.SharedComponents(e.conn.Primary.Path),
@@ -69,12 +75,12 @@ func (m *Manager) prospectivePsiSizes(primary, bPath topology.Path, alpha int) [
 // primary and backup paths with a uniform multiplexing degree alpha.
 func (m *Manager) prospectivePr(primary topology.Path, backups []topology.Path, alpha int) float64 {
 	infos := make([]reliability.BackupInfo, 0, len(backups))
-	nu := reliability.NuForDegree(m.cfg.Lambda, alpha)
+	nu := reliability.NuForDegree(m.plan.cfg.Lambda, alpha)
 	for _, b := range backups {
 		pmux := reliability.MuxFailureBound(nu, m.prospectivePsiSizes(primary, b, alpha))
 		infos = append(infos, reliability.BackupInfo{Components: b.NumComponents(), PMuxFail: pmux})
 	}
-	return reliability.Pr(m.cfg.Lambda, primary.NumComponents(), infos)
+	return reliability.Pr(m.plan.cfg.Lambda, primary.NumComponents(), infos)
 }
 
 // EstablishWithPr implements the paper's second QoS-negotiation scheme
@@ -94,16 +100,19 @@ func (m *Manager) EstablishWithPr(src, dst topology.NodeID, spec rtchan.TrafficS
 	if maxBackups < 0 || maxAlpha < 1 {
 		return nil, fmt.Errorf("core: invalid negotiation bounds")
 	}
+	// The probe/teardown search below must be atomic against other writers,
+	// so the whole negotiation runs as one write transaction.
+	defer m.beginWrite()()
 	// Zero backups may already satisfy a lax requirement.
-	probeConn, err := m.Establish(src, dst, spec, nil)
+	probeConn, err := m.establish(src, dst, spec, nil)
 	if err != nil {
 		return nil, err
 	}
-	if m.ConnectionPr(probeConn) >= requiredPr {
+	if m.connectionPr(probeConn) >= requiredPr {
 		return probeConn, nil
 	}
 	primary := probeConn.Primary.Path
-	if err := m.Teardown(probeConn.ID); err != nil {
+	if err := m.teardown(probeConn.ID); err != nil {
 		return nil, err
 	}
 
@@ -132,7 +141,7 @@ func (m *Manager) EstablishWithPr(src, dst topology.NodeID, spec rtchan.TrafficS
 			for i := range degrees {
 				degrees[i] = alpha
 			}
-			conn, err := m.Establish(src, dst, spec, degrees)
+			conn, err := m.establish(src, dst, spec, degrees)
 			if err != nil {
 				// Admission failed (e.g. spare pools full at this ν);
 				// a smaller alpha only demands more, so try more backups.
@@ -141,10 +150,10 @@ func (m *Manager) EstablishWithPr(src, dst topology.NodeID, spec rtchan.TrafficS
 			// Commit-time Pr can differ slightly from the prediction if
 			// establishment routed other-than-candidate paths; accept if
 			// still satisfying, otherwise undo and keep searching.
-			if m.ConnectionPr(conn) >= requiredPr {
+			if m.connectionPr(conn) >= requiredPr {
 				return conn, nil
 			}
-			if err := m.Teardown(conn.ID); err != nil {
+			if err := m.teardown(conn.ID); err != nil {
 				return nil, err
 			}
 		}

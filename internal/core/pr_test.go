@@ -15,7 +15,7 @@ func TestConnectionPrNoBackup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := reliability.ChannelSurvival(m.cfg.Lambda, conn.Primary.Path.NumComponents())
+	want := reliability.ChannelSurvival(m.plan.cfg.Lambda, conn.Primary.Path.NumComponents())
 	if got := m.ConnectionPr(conn); got != want {
 		t.Fatalf("Pr = %g, want %g", got, want)
 	}

@@ -59,8 +59,8 @@ func randomManager(t *testing.T, seed int64, alphaPick func(*rand.Rand) int) (*M
 }
 
 func backupBWOnLink(m *Manager, l topology.LinkID) (sum, max float64, n int) {
-	for _, id := range m.net.ChannelsOnLink(l) {
-		ch := m.net.Channel(id)
+	for _, id := range m.plan.net.ChannelsOnLink(l) {
+		ch := m.plan.net.Channel(id)
 		if ch != nil && ch.Role == rtchan.RoleBackup {
 			sum += ch.Bandwidth()
 			if ch.Bandwidth() > max {
@@ -77,7 +77,7 @@ func TestPropertySpareBounds(t *testing.T) {
 		m, g, _ := randomManager(t, seed, func(r *rand.Rand) int { return 1 + r.Intn(6) })
 		for _, l := range g.Links() {
 			sum, max, n := backupBWOnLink(m, l.ID)
-			spare := m.net.Spare(l.ID)
+			spare := m.plan.net.Spare(l.ID)
 			if n == 0 {
 				if spare != 0 {
 					t.Fatalf("seed %d: link %d spare %g without backups", seed, l.ID, spare)
@@ -105,7 +105,7 @@ func TestPropertyMuxZeroIsDedicated(t *testing.T) {
 			if n == 0 {
 				continue
 			}
-			if spare := m.net.Spare(l.ID); spare < sum-1e-6 || spare > sum+1e-6 {
+			if spare := m.plan.net.Spare(l.ID); spare < sum-1e-6 || spare > sum+1e-6 {
 				t.Fatalf("seed %d: link %d spare %g, want exactly %g at mux=0", seed, l.ID, spare, sum)
 			}
 		}
@@ -121,9 +121,9 @@ func TestPropertyTeardownLeavesNothing(t *testing.T) {
 			}
 		}
 		for _, l := range g.Links() {
-			if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+			if m.plan.net.Dedicated(l.ID) != 0 || m.plan.net.Spare(l.ID) != 0 {
 				t.Fatalf("seed %d: link %d dirty (dedicated=%g spare=%g)",
-					seed, l.ID, m.net.Dedicated(l.ID), m.net.Spare(l.ID))
+					seed, l.ID, m.plan.net.Dedicated(l.ID), m.plan.net.Spare(l.ID))
 			}
 		}
 		if m.NumConnections() != 0 {
@@ -173,7 +173,7 @@ func TestPropertyApplyKeepsCapacityInvariant(t *testing.T) {
 			if _, err := m.Apply(f, OrderByPriority, rng); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
-			if err := m.net.CheckInvariants(); err != nil {
+			if err := m.plan.net.CheckInvariants(); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
 			if err := m.CheckMuxInvariants(); err != nil {
@@ -199,7 +199,7 @@ func TestPropertyPiRestrictionSavesSpare(t *testing.T) {
 			}
 			_, _ = m.Establish(s, d, rtchan.DefaultSpec(), []int{1 + rng.Intn(6)})
 		}
-		return m.net.SpareFraction()
+		return m.plan.net.SpareFraction()
 	}
 	for seed := int64(60); seed < 64; seed++ {
 		with := build(false, seed)

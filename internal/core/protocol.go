@@ -20,7 +20,12 @@ import (
 // ch. It reports success; a repeated claim by the same channel is a no-op
 // success. Failure means a multiplexing failure on this link (§3.3).
 func (m *Manager) ClaimSpareFor(l topology.LinkID, ch rtchan.ChannelID, bw float64) bool {
-	lm := &m.mux[l]
+	defer m.beginWrite()()
+	return m.claimSpareFor(l, ch, bw)
+}
+
+func (m *Manager) claimSpareFor(l topology.LinkID, ch rtchan.ChannelID, bw float64) bool {
+	lm := &m.plan.mux[l]
 	if _, dup := lm.claims[ch]; dup {
 		return true
 	}
@@ -39,11 +44,17 @@ func (m *Manager) ClaimSpareFor(l topology.LinkID, ch rtchan.ChannelID, bw float
 // large value when unknown (primaries and foreign channels are never
 // preempted).
 func (m *Manager) DegreeOf(ch rtchan.ChannelID) int {
-	c := m.net.Channel(ch)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.degreeOf(ch)
+}
+
+func (m *Manager) degreeOf(ch rtchan.ChannelID) int {
+	c := m.plan.net.Channel(ch)
 	if c == nil {
 		return 1 << 30
 	}
-	conn := m.conns[c.Conn]
+	conn := m.plan.conns[c.Conn]
 	if conn == nil {
 		return 1 << 30
 	}
@@ -61,14 +72,15 @@ func (m *Manager) DegreeOf(ch rtchan.ChannelID) int {
 // is revoked to make room. It returns the victim channel (to be handled as
 // if disabled by a component failure) and whether preemption succeeded.
 func (m *Manager) PreemptClaim(l topology.LinkID, ch rtchan.ChannelID, alpha int, bw float64) (rtchan.ChannelID, bool) {
-	lm := &m.mux[l]
+	defer m.beginWrite()()
+	lm := &m.plan.mux[l]
 	var victim rtchan.ChannelID
 	victimDegree := alpha
 	for held, heldBW := range lm.claims {
 		if heldBW+lm.available() < bw-1e-9 {
 			continue // evicting this claim would not free enough
 		}
-		if d := m.DegreeOf(held); d > victimDegree {
+		if d := m.degreeOf(held); d > victimDegree {
 			victim = held
 			victimDegree = d
 		}
@@ -76,8 +88,8 @@ func (m *Manager) PreemptClaim(l topology.LinkID, ch rtchan.ChannelID, alpha int
 	if victim == 0 {
 		return 0, false
 	}
-	m.ReleaseClaimFor(l, victim)
-	if !m.ClaimSpareFor(l, ch, bw) {
+	m.releaseClaimFor(l, victim)
+	if !m.claimSpareFor(l, ch, bw) {
 		return 0, false // arithmetic raced; give up
 	}
 	return victim, true
@@ -86,7 +98,12 @@ func (m *Manager) PreemptClaim(l topology.LinkID, ch rtchan.ChannelID, alpha int
 // ReleaseClaimFor undoes a claim (e.g. when an activation is abandoned after
 // a downstream multiplexing failure).
 func (m *Manager) ReleaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
-	lm := &m.mux[l]
+	defer m.beginWrite()()
+	m.releaseClaimFor(l, ch)
+}
+
+func (m *Manager) releaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
+	lm := &m.plan.mux[l]
 	if bw, ok := lm.claims[ch]; ok {
 		delete(lm.claims, ch)
 		lm.claimed -= bw
@@ -95,7 +112,9 @@ func (m *Manager) ReleaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
 
 // ClaimedOn reports whether channel ch holds a claim on link l.
 func (m *Manager) ClaimedOn(l topology.LinkID, ch rtchan.ChannelID) bool {
-	_, ok := m.mux[l].claims[ch]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.plan.mux[l].claims[ch]
 	return ok
 }
 
@@ -105,19 +124,20 @@ func (m *Manager) ClaimedOn(l topology.LinkID, ch rtchan.ChannelID) bool {
 // claim are claimed here (covering the race where both end-node activations
 // stop exactly at the meeting node).
 func (m *Manager) ActivateClaimed(connID rtchan.ConnID, b *rtchan.Channel) error {
-	conn := m.conns[connID]
+	defer m.beginWrite()()
+	conn := m.plan.conns[connID]
 	if conn == nil {
 		return fmt.Errorf("core: unknown connection %d", connID)
 	}
 	bw := b.Bandwidth()
 	for _, l := range b.Path.Links() {
-		if !m.ClaimSpareFor(l, b.ID, bw) {
+		if !m.claimSpareFor(l, b.ID, bw) {
 			return fmt.Errorf("core: link %d has no claim and no spare for channel %d", l, b.ID)
 		}
 	}
 	touched := make(map[topology.LinkID]struct{})
 	for _, l := range b.Path.Links() {
-		lm := &m.mux[l]
+		lm := &m.plan.mux[l]
 		delete(lm.claims, b.ID)
 		lm.claimed -= bw
 	}
@@ -131,25 +151,26 @@ func (m *Manager) ActivateClaimed(connID rtchan.ConnID, b *rtchan.Channel) error
 // expiry or channel-closure, §4.4) and re-sizes affected spare pools. If the
 // connection ends with no channels at all it is deleted.
 func (m *Manager) TeardownChannel(connID rtchan.ConnID, ch rtchan.ChannelID) error {
-	conn := m.conns[connID]
+	defer m.beginWrite()()
+	conn := m.plan.conns[connID]
 	if conn == nil {
 		return fmt.Errorf("core: unknown connection %d", connID)
 	}
-	c := m.net.Channel(ch)
+	c := m.plan.net.Channel(ch)
 	if c == nil {
 		return nil // already gone
 	}
 	// Abandon any outstanding claims.
 	for _, l := range c.Path.Links() {
-		m.ReleaseClaimFor(l, ch)
+		m.releaseClaimFor(l, ch)
 	}
 	touched := make(map[topology.LinkID]struct{})
 	if err := m.dropChannel(conn, c, touched); err != nil {
 		return err
 	}
 	if conn.Primary == nil && len(conn.Backups) == 0 {
-		delete(m.conns, connID)
-		m.scache.forget(connID)
+		delete(m.plan.conns, connID)
+		m.plan.scache.forget(connID)
 	}
 	return m.reconfigureLinks(touched)
 }
@@ -159,11 +180,12 @@ func (m *Manager) TeardownChannel(connID rtchan.ConnID, ch rtchan.ChannelID) err
 // engine as a backup with the given degree. Fails if the spare pools can no
 // longer accommodate it.
 func (m *Manager) RestoreAsBackup(connID rtchan.ConnID, ch rtchan.ChannelID, alpha int) error {
-	conn := m.conns[connID]
+	defer m.beginWrite()()
+	conn := m.plan.conns[connID]
 	if conn == nil {
 		return fmt.Errorf("core: unknown connection %d", connID)
 	}
-	c := m.net.Channel(ch)
+	c := m.plan.net.Channel(ch)
 	if c == nil {
 		return fmt.Errorf("core: unknown channel %d", ch)
 	}
@@ -177,7 +199,7 @@ func (m *Manager) RestoreAsBackup(connID rtchan.ConnID, ch rtchan.ChannelID, alp
 		// bandwidth first. If it was still listed as the connection's
 		// primary (no backup was ever activated), the connection is left
 		// primary-less until an activation promotes the rejoined channel.
-		if err := m.net.Demote(ch, len(conn.Backups)+1); err != nil {
+		if err := m.plan.net.Demote(ch, len(conn.Backups)+1); err != nil {
 			return err
 		}
 		if conn.Primary != nil && conn.Primary.ID == ch {

@@ -65,7 +65,7 @@ func TestActivateClaimedPromotes(t *testing.T) {
 		t.Fatal("backup not promoted")
 	}
 	for _, l := range b.Path.Links() {
-		if m.net.Dedicated(l) != 1 || m.net.Spare(l) != 0 {
+		if m.plan.net.Dedicated(l) != 1 || m.plan.net.Spare(l) != 0 {
 			t.Fatalf("link %d accounts wrong after promotion", l)
 		}
 	}
@@ -112,7 +112,7 @@ func TestTeardownChannelSingle(t *testing.T) {
 		t.Fatal("backup list not updated")
 	}
 	for _, l := range b.Path.Links() {
-		if m.net.Spare(l) != 0 {
+		if m.plan.net.Spare(l) != 0 {
 			t.Fatalf("spare not reclaimed on link %d", l)
 		}
 	}
@@ -149,7 +149,7 @@ func TestRestoreAsBackupFromBackup(t *testing.T) {
 	if len(conn.Backups) != 1 || conn.Degrees[0] != 2 {
 		t.Fatalf("restore bookkeeping wrong: %v %v", conn.Backups, conn.Degrees)
 	}
-	if m.net.Spare(b.Path.Links()[0]) != 1 {
+	if m.plan.net.Spare(b.Path.Links()[0]) != 1 {
 		t.Fatal("spare not re-reserved")
 	}
 	// Restoring again is a no-op.
@@ -181,10 +181,10 @@ func TestRestoreAsBackupDemotesPrimary(t *testing.T) {
 		t.Fatal("old primary not demoted")
 	}
 	for _, l := range oldPrimary.Path.Links() {
-		if m.net.Dedicated(l) != 0 {
+		if m.plan.net.Dedicated(l) != 0 {
 			t.Fatalf("dedicated bandwidth not released on link %d", l)
 		}
-		if m.net.Spare(l) != 1 {
+		if m.plan.net.Spare(l) != 1 {
 			t.Fatalf("spare not reserved for the rejoined backup on link %d", l)
 		}
 	}

@@ -13,51 +13,199 @@ import (
 // node implicitly disables every channel whose path visits it; a failed
 // simplex link disables the channels routed over it (its reverse-direction
 // twin is a separate component, matching the paper's failure model).
+//
+// The paper's three failure models — single link, single node, double node
+// — dominate the sweep hot loop (one Failure per trial, hundreds of
+// thousands of trials), so small failures are stored inline with no map
+// allocation; only larger component sets (the severity sweeps) fall back to
+// maps.
 type Failure struct {
-	links map[topology.LinkID]struct{}
-	nodes map[topology.NodeID]struct{}
+	// Inline storage for up to failureInline links and nodes each, sorted
+	// ascending. Used iff the corresponding map is nil.
+	slinks [failureInline]topology.LinkID
+	snodes [failureInline]topology.NodeID
+	nl, nn uint8
+	links  map[topology.LinkID]struct{} // non-nil only beyond inline capacity
+	nodes  map[topology.NodeID]struct{}
 }
 
-// NewFailure builds a failure from explicit component lists.
+// failureInline is the per-kind inline component capacity: it covers every
+// failure model the paper sweeps (§7.2-7.4) without heap allocation.
+const failureInline = 2
+
+// NewFailure builds a failure from explicit component lists. Duplicates are
+// collapsed.
 func NewFailure(links []topology.LinkID, nodes []topology.NodeID) Failure {
-	f := Failure{
-		links: make(map[topology.LinkID]struct{}, len(links)),
-		nodes: make(map[topology.NodeID]struct{}, len(nodes)),
-	}
+	var f Failure
 	for _, l := range links {
-		f.links[l] = struct{}{}
+		f.addLink(l)
 	}
 	for _, n := range nodes {
-		f.nodes[n] = struct{}{}
+		f.addNode(n)
 	}
 	return f
 }
 
+func (f *Failure) addLink(l topology.LinkID) {
+	if f.links == nil {
+		for _, x := range f.slinks[:f.nl] {
+			if x == l {
+				return
+			}
+		}
+		if int(f.nl) < failureInline {
+			// Insertion keeps the inline set sorted, so Links() and
+			// eachLink need no sort step.
+			i := int(f.nl)
+			for i > 0 && f.slinks[i-1] > l {
+				f.slinks[i] = f.slinks[i-1]
+				i--
+			}
+			f.slinks[i] = l
+			f.nl++
+			return
+		}
+		// Overflow: spill the inline set into a map and continue there.
+		f.links = make(map[topology.LinkID]struct{}, failureInline+1)
+		for _, x := range f.slinks[:f.nl] {
+			f.links[x] = struct{}{}
+		}
+		f.nl = 0
+	}
+	f.links[l] = struct{}{}
+}
+
+func (f *Failure) addNode(n topology.NodeID) {
+	if f.nodes == nil {
+		for _, x := range f.snodes[:f.nn] {
+			if x == n {
+				return
+			}
+		}
+		if int(f.nn) < failureInline {
+			i := int(f.nn)
+			for i > 0 && f.snodes[i-1] > n {
+				f.snodes[i] = f.snodes[i-1]
+				i--
+			}
+			f.snodes[i] = n
+			f.nn++
+			return
+		}
+		f.nodes = make(map[topology.NodeID]struct{}, failureInline+1)
+		for _, x := range f.snodes[:f.nn] {
+			f.nodes[x] = struct{}{}
+		}
+		f.nn = 0
+	}
+	f.nodes[n] = struct{}{}
+}
+
 // SingleLink is the paper's single-link failure model.
-func SingleLink(l topology.LinkID) Failure { return NewFailure([]topology.LinkID{l}, nil) }
+func SingleLink(l topology.LinkID) Failure {
+	var f Failure
+	f.slinks[0], f.nl = l, 1
+	return f
+}
 
 // SingleNode is the paper's single-node failure model.
-func SingleNode(n topology.NodeID) Failure { return NewFailure(nil, []topology.NodeID{n}) }
+func SingleNode(n topology.NodeID) Failure {
+	var f Failure
+	f.snodes[0], f.nn = n, 1
+	return f
+}
 
 // DoubleNode is the paper's double-node failure model.
 func DoubleNode(a, b topology.NodeID) Failure {
 	return NewFailure(nil, []topology.NodeID{a, b})
 }
 
+// The exported predicates take value receivers (the natural API for a
+// value type), each copying the struct once; the unexported pointer-receiver
+// twins below exist for the sweep hot loop, where per-component copies of
+// the inline storage showed up in the trial profile.
+
 // LinkFailed reports whether link l failed.
-func (f Failure) LinkFailed(l topology.LinkID) bool {
-	_, bad := f.links[l]
-	return bad
+func (f Failure) LinkFailed(l topology.LinkID) bool { return f.linkFailed(l) }
+
+func (f *Failure) linkFailed(l topology.LinkID) bool {
+	if f.links != nil {
+		_, bad := f.links[l]
+		return bad
+	}
+	for _, x := range f.slinks[:f.nl] {
+		if x == l {
+			return true
+		}
+	}
+	return false
 }
 
 // NodeFailed reports whether node n failed.
-func (f Failure) NodeFailed(n topology.NodeID) bool {
-	_, bad := f.nodes[n]
-	return bad
+func (f Failure) NodeFailed(n topology.NodeID) bool { return f.nodeFailed(n) }
+
+func (f *Failure) nodeFailed(n topology.NodeID) bool {
+	if f.nodes != nil {
+		_, bad := f.nodes[n]
+		return bad
+	}
+	for _, x := range f.snodes[:f.nn] {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }
 
-// Links returns the failed links.
+// numLinks returns the number of failed links.
+func (f *Failure) numLinks() int {
+	if f.links != nil {
+		return len(f.links)
+	}
+	return int(f.nl)
+}
+
+// numNodes returns the number of failed nodes.
+func (f *Failure) numNodes() int {
+	if f.nodes != nil {
+		return len(f.nodes)
+	}
+	return int(f.nn)
+}
+
+// eachLink calls fn for every failed link (inline sets in ascending order).
+func (f *Failure) eachLink(fn func(topology.LinkID)) {
+	if f.links != nil {
+		for l := range f.links {
+			fn(l)
+		}
+		return
+	}
+	for _, l := range f.slinks[:f.nl] {
+		fn(l)
+	}
+}
+
+// eachNode calls fn for every failed node (inline sets in ascending order).
+func (f *Failure) eachNode(fn func(topology.NodeID)) {
+	if f.nodes != nil {
+		for n := range f.nodes {
+			fn(n)
+		}
+		return
+	}
+	for _, n := range f.snodes[:f.nn] {
+		fn(n)
+	}
+}
+
+// Links returns the failed links, ascending.
 func (f Failure) Links() []topology.LinkID {
+	if f.links == nil {
+		out := make([]topology.LinkID, f.nl)
+		copy(out, f.slinks[:f.nl])
+		return out
+	}
 	out := make([]topology.LinkID, 0, len(f.links))
 	for l := range f.links {
 		out = append(out, l)
@@ -66,8 +214,13 @@ func (f Failure) Links() []topology.LinkID {
 	return out
 }
 
-// Nodes returns the failed nodes.
+// Nodes returns the failed nodes, ascending.
 func (f Failure) Nodes() []topology.NodeID {
+	if f.nodes == nil {
+		out := make([]topology.NodeID, f.nn)
+		copy(out, f.snodes[:f.nn])
+		return out
+	}
 	out := make([]topology.NodeID, 0, len(f.nodes))
 	for n := range f.nodes {
 		out = append(out, n)
@@ -78,17 +231,19 @@ func (f Failure) Nodes() []topology.NodeID {
 
 // HitsPath reports whether any component of path p failed (links or any
 // visited node, including end nodes).
-func (f Failure) HitsPath(p topology.Path) bool {
-	if len(f.links) > 0 {
+func (f Failure) HitsPath(p topology.Path) bool { return f.hitsPath(p) }
+
+func (f *Failure) hitsPath(p topology.Path) bool {
+	if f.numLinks() > 0 {
 		for _, l := range p.Links() {
-			if f.LinkFailed(l) {
+			if f.linkFailed(l) {
 				return true
 			}
 		}
 	}
-	if len(f.nodes) > 0 {
+	if f.numNodes() > 0 {
 		for _, n := range p.Nodes() {
-			if f.NodeFailed(n) {
+			if f.nodeFailed(n) {
 				return true
 			}
 		}
@@ -181,21 +336,21 @@ func (m *Manager) affectedConnections(f Failure) map[rtchan.ConnID][]*rtchan.Cha
 			return
 		}
 		seen[id] = struct{}{}
-		ch := m.net.Channel(id)
+		ch := m.plan.net.Channel(id)
 		if ch != nil {
 			affected[ch.Conn] = append(affected[ch.Conn], ch)
 		}
 	}
-	for l := range f.links {
-		for _, id := range m.net.ChannelsOnLink(l) {
+	f.eachLink(func(l topology.LinkID) {
+		for _, id := range m.plan.net.ChannelsOnLink(l) {
 			add(id)
 		}
-	}
-	for n := range f.nodes {
-		for _, id := range m.net.ChannelsAtNode(n) {
+	})
+	f.eachNode(func(n topology.NodeID) {
+		for _, id := range m.plan.net.ChannelsAtNode(n) {
 			add(id)
 		}
-	}
+	})
 	return affected
 }
 
@@ -228,75 +383,16 @@ func firstDegree(c *DConnection) int {
 // order; a backup activates iff it is itself unaffected by the failure and
 // every link of its path has enough unclaimed spare bandwidth.
 //
-// Trial reuses per-Manager scratch buffers, so concurrent Trials on one
-// Manager must be externally serialized; the parallel sweep runner in
-// internal/experiment builds one Manager per worker instead.
+// Trial is a pure read over the shared NetworkPlan (see plan.go) and is
+// safe to call concurrently with itself and with writers. Concurrent sweep
+// workers should prefer per-goroutine TrialViews (NewTrialView), which skip
+// this entry point's serialization over the manager-owned scratch.
 func (m *Manager) Trial(f Failure, order ActivationOrder, rng *rand.Rand) RecoveryStats {
-	var stats RecoveryStats
-	t := &m.trial
-	t.begin(m.Graph().NumLinks())
-
-	// Discover the affected channels via the per-link/per-node indexes,
-	// deduped and grouped by connection in the stamped scratch slices.
-	add := func(id rtchan.ChannelID) {
-		if !t.markChan(id) {
-			return
-		}
-		ch := m.net.Channel(id)
-		if ch == nil {
-			return
-		}
-		slot := t.connSlot(ch.Conn)
-		if ch.Role == rtchan.RolePrimary {
-			t.connPrim[slot] = true
-		} else {
-			t.connBkup[slot]++
-		}
-	}
-	for l := range f.links {
-		for _, id := range m.net.ChannelsOnLink(l) {
-			add(id)
-		}
-	}
-	for n := range f.nodes {
-		for _, id := range m.net.ChannelsAtNode(n) {
-			add(id)
-		}
-	}
-
-	needsRecovery := t.needs[:0]
-	for _, connID := range t.conns {
-		conn := m.conns[connID]
-		if conn == nil {
-			continue
-		}
-		if f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst) {
-			stats.ExcludedConns++
-			continue
-		}
-		stats.FailedBackups += int(t.connBkup[connID])
-		if t.connPrim[connID] {
-			stats.FailedPrimaries++
-			stats.degree(firstDegree(conn)).FailedPrimaries++
-			needsRecovery = append(needsRecovery, conn)
-		}
-	}
-
-	needsRecovery = orderedConns(needsRecovery, order, rng)
-	for _, conn := range needsRecovery {
-		outcome := m.tryActivate(conn, f, t)
-		switch outcome {
-		case activated:
-			stats.FastRecovered++
-			stats.degree(firstDegree(conn)).FastRecovered++
-		case allBackupsDead:
-			stats.BackupDead++
-		case spareExhausted:
-			stats.MuxFailed++
-		}
-	}
-	t.needs = needsRecovery[:0]
-	return stats
+	m.trialMu.Lock()
+	defer m.trialMu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.plan.trial(f, order, rng, &m.trial)
 }
 
 type activationOutcome uint8
@@ -307,41 +403,6 @@ const (
 	spareExhausted
 )
 
-// tryActivate walks the connection's backups in serial order, claiming
-// spare bandwidth from the shared per-link pools recorded in the trial
-// scratch.
-func (m *Manager) tryActivate(conn *DConnection, f Failure, t *trialScratch) activationOutcome {
-	bw := conn.Spec.Bandwidth
-	sawHealthy := false
-	for _, b := range conn.Backups {
-		if f.HitsPath(b.Path) {
-			continue
-		}
-		sawHealthy = true
-		links := b.Path.Links()
-		ok := true
-		for _, l := range links {
-			lm := &m.mux[l]
-			if lm.available()-t.claimed(l) < bw-1e-9 {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			for _, l := range links {
-				t.claim(l, bw)
-			}
-			return activated
-		}
-		// Multiplexing failure on this backup; reported like a component
-		// failure, so the end nodes go on to try the next serial (§4.1).
-	}
-	if sawHealthy {
-		return spareExhausted
-	}
-	return allBackupsDead
-}
-
 // Apply executes a failure event against live state: winning backups claim
 // spare bandwidth and are promoted to primaries; failed channels are torn
 // down; spare pools are re-sized (§4.4 resource reconfiguration). It returns
@@ -351,6 +412,11 @@ func (m *Manager) tryActivate(conn *DConnection, f Failure, t *trialScratch) act
 // informs the client of the unrecoverable failure; re-establishment from
 // scratch is the client's retry).
 func (m *Manager) Apply(f Failure, order ActivationOrder, rng *rand.Rand) (RecoveryStats, error) {
+	defer m.beginWrite()()
+	return m.apply(f, order, rng)
+}
+
+func (m *Manager) apply(f Failure, order ActivationOrder, rng *rand.Rand) (RecoveryStats, error) {
 	var stats RecoveryStats
 	affected := m.affectedConnections(f)
 
@@ -364,7 +430,7 @@ func (m *Manager) Apply(f Failure, order ActivationOrder, rng *rand.Rand) (Recov
 	var needsRecovery []*DConnection
 	byConn := make(map[rtchan.ConnID]*plan)
 	for connID, channels := range affected {
-		conn := m.conns[connID]
+		conn := m.plan.conns[connID]
 		if conn == nil {
 			continue
 		}
@@ -434,8 +500,8 @@ func (m *Manager) Apply(f Failure, order ActivationOrder, rng *rand.Rand) (Recov
 					return stats, err
 				}
 			}
-			delete(m.conns, conn.ID)
-			m.scache.forget(conn.ID)
+			delete(m.plan.conns, conn.ID)
+			m.plan.scache.forget(conn.ID)
 		}
 	}
 
@@ -460,14 +526,14 @@ func (m *Manager) claimActivation(conn *DConnection, f Failure) (*rtchan.Channel
 		links := b.Path.Links()
 		ok := true
 		for _, l := range links {
-			if m.mux[l].available() < bw-1e-9 {
+			if m.plan.mux[l].available() < bw-1e-9 {
 				ok = false
 				break
 			}
 		}
 		if ok {
 			for _, l := range links {
-				m.mux[l].claimed += bw
+				m.plan.mux[l].claimed += bw
 			}
 			return b, activated
 		}
@@ -483,7 +549,7 @@ func (m *Manager) claimActivation(conn *DConnection, f Failure) (*rtchan.Channel
 func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched map[topology.LinkID]struct{}) error {
 	bw := b.Bandwidth()
 	for _, l := range b.Path.Links() {
-		lm := &m.mux[l]
+		lm := &m.plan.mux[l]
 		// Drop the mux entry without resizing: the pool shrink happens
 		// explicitly, converting the claim into dedicated bandwidth.
 		if idx := lm.find(b.ID); idx >= 0 {
@@ -502,12 +568,12 @@ func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched ma
 		if lm.spare < 0 {
 			lm.spare = 0
 		}
-		if err := m.net.SetSpare(l, lm.spare); err != nil {
+		if err := m.plan.net.SetSpare(l, lm.spare); err != nil {
 			return fmt.Errorf("core: promote shrink on link %d: %w", l, err)
 		}
 		touched[l] = struct{}{}
 	}
-	if err := m.net.Promote(b.ID); err != nil {
+	if err := m.plan.net.Promote(b.ID); err != nil {
 		return err
 	}
 	// The connection's channel lists: the winner becomes the primary.
@@ -533,7 +599,7 @@ func (m *Manager) promoteBackup(conn *DConnection, b *rtchan.Channel, touched ma
 // dropChannel tears down one channel of a connection (failed component or
 // released survivor), updating mux state and the connection's lists.
 func (m *Manager) dropChannel(conn *DConnection, ch *rtchan.Channel, touched map[topology.LinkID]struct{}) error {
-	if m.net.Channel(ch.ID) == nil {
+	if m.plan.net.Channel(ch.ID) == nil {
 		return nil // already dropped (e.g. promoted then listed again)
 	}
 	if ch.Role == rtchan.RoleBackup {
@@ -552,7 +618,7 @@ func (m *Manager) dropChannel(conn *DConnection, ch *rtchan.Channel, touched map
 		conn.Primary = nil
 		m.primaryChanged(conn)
 	}
-	return m.net.Teardown(ch.ID)
+	return m.plan.net.Teardown(ch.ID)
 }
 
 // reconfigureLinks re-derives the Π structure and spare sizing of the given
@@ -567,12 +633,12 @@ func (m *Manager) reconfigureLinks(touched map[topology.LinkID]struct{}) error {
 	for l := range touched {
 		if err := m.recomputeLinkMux(l); err != nil {
 			// Cap at headroom rather than failing recovery.
-			lm := &m.mux[l]
-			head := m.net.Capacity(l) - m.net.Dedicated(l)
+			lm := &m.plan.mux[l]
+			head := m.plan.net.Capacity(l) - m.plan.net.Dedicated(l)
 			if head < 0 {
 				head = 0
 			}
-			if err2 := m.net.SetSpare(l, head); err2 != nil {
+			if err2 := m.plan.net.SetSpare(l, head); err2 != nil {
 				return err2
 			}
 			lm.spare = head

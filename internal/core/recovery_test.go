@@ -103,7 +103,7 @@ func TestTrialMuxContention(t *testing.T) {
 		t.Fatal(err)
 	}
 	shared := g.LinkBetween(4, 5)
-	if got := m.net.Spare(shared); got != 1 {
+	if got := m.plan.net.Spare(shared); got != 1 {
 		t.Fatalf("expected multiplexed spare 1, got %g", got)
 	}
 	stats := m.Trial(SingleLink(g.LinkBetween(1, 2)), OrderByConn, nil)
@@ -139,7 +139,7 @@ func TestTrialSecondBackupSavesMuxFailure(t *testing.T) {
 		[]topology.Path{path(1, 5, 6), path(1, 0, 4, 8, 9, 10, 6)}, []int{8, 8}); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.net.Spare(g.LinkBetween(5, 6)); got != 1 {
+	if got := m.plan.net.Spare(g.LinkBetween(5, 6)); got != 1 {
 		t.Fatalf("spare on 5->6 = %g, want 1 (multiplexed)", got)
 	}
 	stats := m.Trial(SingleLink(g.LinkBetween(1, 2)), OrderByConn, nil)
@@ -203,20 +203,20 @@ func TestApplyPromotesBackup(t *testing.T) {
 	}
 	// The new primary's bandwidth is dedicated; old primary's released.
 	for _, l := range backupPath.Links() {
-		if m.net.Dedicated(l) != 1 {
-			t.Fatalf("link %d dedicated = %g", l, m.net.Dedicated(l))
+		if m.plan.net.Dedicated(l) != 1 {
+			t.Fatalf("link %d dedicated = %g", l, m.plan.net.Dedicated(l))
 		}
-		if m.net.Spare(l) != 0 {
-			t.Fatalf("link %d spare = %g after promotion", l, m.net.Spare(l))
+		if m.plan.net.Spare(l) != 0 {
+			t.Fatalf("link %d spare = %g after promotion", l, m.plan.net.Spare(l))
 		}
 	}
-	if m.net.Dedicated(g.LinkBetween(1, 2)) != 0 {
+	if m.plan.net.Dedicated(g.LinkBetween(1, 2)) != 0 {
 		t.Fatal("old primary reservation not released")
 	}
 	if err := m.CheckMuxInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.net.CheckInvariants(); err != nil {
+	if err := m.plan.net.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -236,7 +236,7 @@ func TestApplyTearsDownDeadConnection(t *testing.T) {
 		t.Fatal("dead connection not removed")
 	}
 	for _, l := range g.Links() {
-		if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+		if m.plan.net.Dedicated(l.ID) != 0 || m.plan.net.Spare(l.ID) != 0 {
 			t.Fatalf("link %d not released", l.ID)
 		}
 	}
@@ -261,7 +261,7 @@ func TestApplyExcludedConnTornDown(t *testing.T) {
 		t.Fatal("connection with failed end node should be torn down")
 	}
 	for _, l := range g.Links() {
-		if m.net.Dedicated(l.ID) != 0 || m.net.Spare(l.ID) != 0 {
+		if m.plan.net.Dedicated(l.ID) != 0 || m.plan.net.Spare(l.ID) != 0 {
 			t.Fatalf("link %d not released", l.ID)
 		}
 	}
@@ -282,19 +282,19 @@ func TestApplyReconfiguresSurvivorSpare(t *testing.T) {
 		t.Fatal(err)
 	}
 	shared := g.LinkBetween(3, 4)
-	if m.net.Spare(shared) != 1 {
-		t.Fatalf("multiplexed spare = %g", m.net.Spare(shared))
+	if m.plan.net.Spare(shared) != 1 {
+		t.Fatalf("multiplexed spare = %g", m.plan.net.Spare(shared))
 	}
 	if _, err := m.Apply(SingleLink(g.LinkBetween(0, 1)), OrderByConn, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A's backup is now a primary on 3->4: dedicated 1. B's backup alone
 	// needs spare 1. Total on the link: 2.
-	if m.net.Dedicated(shared) != 1 {
-		t.Fatalf("dedicated = %g", m.net.Dedicated(shared))
+	if m.plan.net.Dedicated(shared) != 1 {
+		t.Fatalf("dedicated = %g", m.plan.net.Dedicated(shared))
 	}
-	if m.net.Spare(shared) != 1 {
-		t.Fatalf("reconfigured spare = %g, want 1 for survivor", m.net.Spare(shared))
+	if m.plan.net.Spare(shared) != 1 {
+		t.Fatalf("reconfigured spare = %g, want 1 for survivor", m.plan.net.Spare(shared))
 	}
 	if got := m.BackupsOnLink(shared); got != 1 {
 		t.Fatalf("backups on link = %d", got)
@@ -335,7 +335,7 @@ func TestApplySequentialFailures(t *testing.T) {
 	if err := m.CheckMuxInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.net.CheckInvariants(); err != nil {
+	if err := m.plan.net.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -367,7 +367,7 @@ func TestApplyRandomizedStorm(t *testing.T) {
 		if err := m.CheckMuxInvariants(); err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}
-		if err := m.net.CheckInvariants(); err != nil {
+		if err := m.plan.net.CheckInvariants(); err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}
 	}

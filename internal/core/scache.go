@@ -106,16 +106,16 @@ func (c *sCache) sweep() {
 // cached S values are bit-identical to the reference
 // reliability.SimultaneousActivation formula.
 func (m *Manager) qpow(n int) []float64 {
-	if len(m.qpowTab) > n {
-		return m.qpowTab
+	if len(m.plan.qpowTab) > n {
+		return m.plan.qpowTab
 	}
 	grown := make([]float64, n+16)
-	q := 1 - m.cfg.Lambda
+	q := 1 - m.plan.cfg.Lambda
 	for k := range grown {
 		grown[k] = math.Pow(q, float64(k))
 	}
-	m.qpowTab = grown
-	return m.qpowTab
+	m.plan.qpowTab = grown
+	return m.plan.qpowTab
 }
 
 // simS is the manager's fast path for S(Bi,Bj) given the primary component
@@ -143,18 +143,18 @@ func (m *Manager) simS(ci, cj, sc int) float64 {
 // miss probe cheap.
 func (m *Manager) pairS(a, b *DConnection) float64 {
 	k := pairKey(a.ID, b.ID)
-	epLo, epHi := m.scache.epoch(a.ID), m.scache.epoch(b.ID)
+	epLo, epHi := m.plan.scache.epoch(a.ID), m.plan.scache.epoch(b.ID)
 	if a.ID > b.ID {
 		epLo, epHi = epHi, epLo
 	}
-	if v, ok := m.scache.entries[k]; ok && v.epLo == epLo && v.epHi == epHi {
+	if v, ok := m.plan.scache.entries[k]; ok && v.epLo == epLo && v.epHi == epHi {
 		return v.s
 	}
 	pa, pb := a.Primary.Path, b.Primary.Path
 	sc := pa.SharedComponents(pb)
 	s := m.simS(pa.NumComponents(), pb.NumComponents(), sc)
-	if m.scache.admit && sc > 0 {
-		m.scache.entries[k] = sPairVal{epLo: epLo, epHi: epHi, s: s}
+	if m.plan.scache.admit && sc > 0 {
+		m.plan.scache.entries[k] = sPairVal{epLo: epLo, epHi: epHi, s: s}
 	}
 	return s
 }
@@ -162,7 +162,7 @@ func (m *Manager) pairS(a, b *DConnection) float64 {
 // primaryChanged records that conn's primary channel changed (promotion,
 // demotion, loss, or replacement): every cached S involving it is stale.
 func (m *Manager) primaryChanged(conn *DConnection) {
-	m.scache.bump(conn.ID)
+	m.plan.scache.bump(conn.ID)
 }
 
 // prospectiveS memoizes S between one candidate primary path and each
@@ -198,7 +198,7 @@ func (p *prospectiveS) forConn(conn *DConnection) float64 {
 // uses it to validate the cache against the reference formula.
 func (m *Manager) referenceS(a, b *DConnection) float64 {
 	return reliability.SimultaneousActivation(
-		m.cfg.Lambda,
+		m.plan.cfg.Lambda,
 		a.Primary.Path.NumComponents(),
 		b.Primary.Path.NumComponents(),
 		a.Primary.Path.SharedComponents(b.Primary.Path),

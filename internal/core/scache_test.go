@@ -36,7 +36,7 @@ func TestSCachePromotionInvalidatesPair(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := pairKey(a.ID, b.ID)
-	v, ok := m.scache.entries[k]
+	v, ok := m.plan.scache.entries[k]
 	if !ok {
 		t.Fatal("recomputeLinkMux did not populate the S-cache")
 	}
@@ -44,7 +44,7 @@ func TestSCachePromotionInvalidatesPair(t *testing.T) {
 	if want := m.referenceS(a, b); oldS != want {
 		t.Fatalf("cached S = %g, reference %g", oldS, want)
 	}
-	epBefore := m.scache.epoch(a.ID)
+	epBefore := m.plan.scache.epoch(a.ID)
 
 	// Fail a's primary: recovery promotes the backup, changing a's primary
 	// path — every cached S involving a must become stale.
@@ -54,7 +54,7 @@ func TestSCachePromotionInvalidatesPair(t *testing.T) {
 	if a.Primary == nil || a.Primary.Path.String() != "0->3->4->5->2" {
 		t.Fatalf("promotion did not happen: primary %v", a.Primary)
 	}
-	if ep := m.scache.epoch(a.ID); ep <= epBefore {
+	if ep := m.plan.scache.epoch(a.ID); ep <= epBefore {
 		t.Fatalf("promotion did not bump a's primary epoch: %d -> %d", epBefore, ep)
 	}
 	// The invariant checker must not compare the stale entry...
@@ -81,14 +81,14 @@ func TestSCacheRejoinDemotionBumpsEpoch(t *testing.T) {
 	}
 	// A still-listed primary rejoining as a backup leaves the connection
 	// primary-less: its cached S values are based on a path it no longer has.
-	epBefore := m.scache.epoch(conn.ID)
+	epBefore := m.plan.scache.epoch(conn.ID)
 	if err := m.RestoreAsBackup(conn.ID, conn.Primary.ID, 3); err != nil {
 		t.Fatal(err)
 	}
 	if conn.Primary != nil {
 		t.Fatal("rejoining primary should leave the connection primary-less")
 	}
-	if ep := m.scache.epoch(conn.ID); ep <= epBefore {
+	if ep := m.plan.scache.epoch(conn.ID); ep <= epBefore {
 		t.Fatalf("demotion did not bump the primary epoch: %d -> %d", epBefore, ep)
 	}
 	if err := m.CheckMuxInvariants(); err != nil {
@@ -103,13 +103,13 @@ func TestSCacheRejectedEstablishmentBumpsEpoch(t *testing.T) {
 	g, path := mesh3(t)
 	m := newTestManager(g)
 	id := m.nextConn
-	epBefore := m.scache.epoch(id)
+	epBefore := m.plan.scache.epoch(id)
 	_, err := m.EstablishOnPaths(spec1(), path(0, 1, 2),
 		[]topology.Path{path(3, 4, 5)}, []int{1}) // endpoints mismatch -> reject
 	if err == nil {
 		t.Fatal("expected rejection")
 	}
-	if ep := m.scache.epoch(id); ep <= epBefore {
+	if ep := m.plan.scache.epoch(id); ep <= epBefore {
 		t.Fatalf("rollback did not bump the reused ID's epoch: %d -> %d", epBefore, ep)
 	}
 }
@@ -119,18 +119,18 @@ func TestSCacheTeardownForgetsAndSweeps(t *testing.T) {
 	if err := m.recomputeLinkMux(g.LinkBetween(4, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if len(m.scache.entries) == 0 {
+	if len(m.plan.scache.entries) == 0 {
 		t.Fatal("cache not populated")
 	}
 	if err := m.Teardown(a.ID); err != nil {
 		t.Fatal(err)
 	}
-	if ep := m.scache.epoch(a.ID); ep != epochDead {
+	if ep := m.plan.scache.epoch(a.ID); ep != epochDead {
 		t.Fatalf("teardown left epoch %d, want dead marker", ep)
 	}
 	// Pairs of a dead connection are unreachable; a sweep removes them.
-	m.scache.sweep()
-	if _, ok := m.scache.entries[pairKey(a.ID, b.ID)]; ok {
+	m.plan.scache.sweep()
+	if _, ok := m.plan.scache.entries[pairKey(a.ID, b.ID)]; ok {
 		t.Fatal("sweep kept a dead connection's pair")
 	}
 	if err := m.CheckMuxInvariants(); err != nil {

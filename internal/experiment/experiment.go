@@ -50,12 +50,12 @@ type Options struct {
 	// DoubleNodeSample limits the double-node sweep to this many sampled
 	// pairs (0 = exhaustive: all N·(N-1)/2 pairs).
 	DoubleNodeSample int
-	// Workers sets the worker-pool size for failure sweeps: each worker
-	// builds its own manager (establishment is deterministic, so every
-	// worker sees identical state) and trials are fanned out across the
-	// pool. 0 or 1 runs serially; negative uses GOMAXPROCS. Results are
-	// identical to a serial run for every activation order, including
-	// OrderRandom (per-trial rng derivation).
+	// Workers sets the worker-pool size for failure sweeps: the pool shares
+	// one established NetworkPlan, each worker trialing through its own
+	// per-goroutine core.TrialView, so adding workers adds no establishment
+	// or memory cost. 0 or 1 runs serially; negative uses GOMAXPROCS.
+	// Results are identical to a serial run for every activation order,
+	// including OrderRandom (per-trial rng derivation).
 	Workers int
 }
 

@@ -21,19 +21,35 @@ type sweepJob struct {
 	set, idx int
 }
 
-// sweepMany evaluates several failure lists against one logical trialer,
+// viewable is satisfied by *core.Manager: a trialer that can hand out cheap
+// per-goroutine read views over its shared plan.
+type viewable interface {
+	NewTrialView() *core.TrialView
+}
+
+// workerTrialer returns the Trialer one pool worker should call. A
+// *core.Manager is wrapped in a per-worker TrialView (private scratch over
+// the shared plan); any other trialer — e.g. the brute-force baseline, whose
+// Trial keeps all mutable state on the stack — is shared as-is.
+func workerTrialer(t Trialer) Trialer {
+	if v, ok := t.(viewable); ok {
+		return v.NewTrialView()
+	}
+	return t
+}
+
+// sweepMany evaluates several failure lists against one shared trialer,
 // returning one SweepResult per list. With opts.Workers > 1 the trials are
-// fanned out over a worker pool; every worker calls build() for a private
-// Trialer, because a Manager's Trial reuses per-manager scratch buffers and
-// must not run concurrently with itself. Establishment is deterministic (no
-// randomized tie-breaking in the evaluation setups), so each worker's build
-// reaches identical state, and results are stored by trial index and folded
-// in list order — the output is bit-identical to a serial run.
+// fanned out over a worker pool; every worker trials against the same
+// NetworkPlan through its own TrialView (per-goroutine scratch, shared
+// read-only state), so the pool pays no per-worker establishment cost.
+// Results are stored by trial index and folded in list order, so the output
+// is bit-identical to a serial run.
 //
 // OrderRandom sweeps parallelize too: each trial derives its shuffle rng
 // from (Options.Seed, trial index) — see Options.trialRNG — so the shuffle
 // is a function of the trial alone, not of the execution schedule.
-func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []SweepResult {
+func sweepMany(t Trialer, sets [][]core.Failure, opts Options) []SweepResult {
 	workers := opts.workerCount()
 	total := 0
 	for _, fs := range sets {
@@ -43,7 +59,6 @@ func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []Swee
 		workers = total
 	}
 	if workers <= 1 {
-		t := build()
 		out := make([]SweepResult, len(sets))
 		for i, fs := range sets {
 			out[i] = Sweep(t, fs, opts)
@@ -66,14 +81,14 @@ func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []Swee
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t := build()
+			wt := workerTrialer(t)
 			for {
 				j := next.Add(1) - 1
 				if j >= int64(len(jobs)) {
 					return
 				}
 				job := jobs[j]
-				stats[job.set][job.idx] = t.Trial(sets[job.set][job.idx], opts.Order, opts.trialRNG(job.idx))
+				stats[job.set][job.idx] = wt.Trial(sets[job.set][job.idx], opts.Order, opts.trialRNG(job.idx))
 			}
 		}()
 	}
@@ -86,16 +101,9 @@ func sweepMany(build func() Trialer, sets [][]core.Failure, opts Options) []Swee
 	return out
 }
 
-// reusableBuild wraps a trialer the caller has already built (for the
-// establishment-side metrics) so the first build() call returns it instead
-// of constructing another; later calls — concurrent, from other workers —
-// fall through to fresh builds.
-func reusableBuild(first Trialer, build func() Trialer) func() Trialer {
-	var taken atomic.Bool
-	return func() Trialer {
-		if taken.CompareAndSwap(false, true) {
-			return first
-		}
-		return build()
-	}
+// SweepParallel evaluates one failure list against a shared trialer with
+// opts.Workers pool workers (see sweepMany). It is the parallel counterpart
+// of Sweep and returns the identical result for every worker count.
+func SweepParallel(t Trialer, failures []core.Failure, opts Options) SweepResult {
+	return sweepMany(t, [][]core.Failure{failures}, opts)[0]
 }

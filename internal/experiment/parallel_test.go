@@ -34,29 +34,27 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 
 // TestParallelSweepSmall exercises the worker pool on a small network in
 // short mode, so `go test -race` covers the fan-out/fold machinery cheaply.
+// One manager is established once and shared: the pool workers trial over
+// its plan through per-worker views.
 func TestParallelSweepSmall(t *testing.T) {
-	build := func() Trialer {
-		g := topology.NewMesh(4, 4, 50)
-		m := core.NewManager(g, core.DefaultConfig())
-		n := g.NumNodes()
-		for s := 0; s < n; s++ {
-			for d := 0; d < n; d++ {
-				if s != d {
-					_, _ = m.Establish(topology.NodeID(s), topology.NodeID(d),
-						rtchan.DefaultSpec(), []int{3})
-				}
+	g := topology.NewMesh(4, 4, 50)
+	m := core.NewManager(g, core.DefaultConfig())
+	n := g.NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				_, _ = m.Establish(topology.NodeID(s), topology.NodeID(d),
+					rtchan.DefaultSpec(), []int{3})
 			}
 		}
-		return m
 	}
-	g := topology.NewMesh(4, 4, 50)
 	sets := [][]core.Failure{
 		AllSingleLinkFailures(g),
 		AllSingleNodeFailures(g),
 	}
 
-	serial := sweepMany(build, sets, Options{Workers: 1})
-	pooled := sweepMany(build, sets, Options{Workers: 4})
+	serial := sweepMany(m, sets, Options{Workers: 1})
+	pooled := sweepMany(m, sets, Options{Workers: 4})
 	for i := range sets {
 		if !sweepResultsEqual(serial[i], pooled[i]) {
 			t.Fatalf("set %d: serial %+v != parallel %+v", i, serial[i], pooled[i])
@@ -74,32 +72,28 @@ func TestParallelSweepSmall(t *testing.T) {
 // with each other.
 func TestParallelRandomOrderMatchesSerial(t *testing.T) {
 	g := topology.NewMesh(3, 3, 20)
-	build := func() Trialer {
-		gg := topology.NewMesh(3, 3, 20)
-		m := core.NewManager(gg, core.DefaultConfig())
-		for s := 0; s < gg.NumNodes(); s++ {
-			for d := 0; d < gg.NumNodes(); d++ {
-				if s != d {
-					_, _ = m.Establish(topology.NodeID(s), topology.NodeID(d), rtchan.DefaultSpec(), []int{3})
-				}
+	m := core.NewManager(g, core.DefaultConfig())
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s != d {
+				_, _ = m.Establish(topology.NodeID(s), topology.NodeID(d), rtchan.DefaultSpec(), []int{3})
 			}
 		}
-		return m
 	}
 	sets := [][]core.Failure{AllSingleLinkFailures(g)}
 	opts := Options{Order: core.OrderRandom, Seed: 7}
-	want := Sweep(build(), sets[0], opts)
+	want := Sweep(m, sets[0], opts)
 	for _, workers := range []int{2, 8} {
 		o := opts
 		o.Workers = workers
-		pooled := sweepMany(build, sets, o)
+		pooled := sweepMany(m, sets, o)
 		if !sweepResultsEqual(pooled[0], want) {
 			t.Fatalf("OrderRandom pool (workers=%d) result %+v != serial %+v", workers, pooled[0], want)
 		}
 	}
 	// A different seed must change the shuffle streams (sanity check that
 	// the per-trial derivation actually feeds Trial).
-	reseeded := Sweep(build(), sets[0], Options{Order: core.OrderRandom, Seed: 8})
+	reseeded := Sweep(m, sets[0], Options{Order: core.OrderRandom, Seed: 8})
 	if reseeded.Trials != want.Trials {
 		t.Fatalf("reseeded sweep ran %d trials, want %d", reseeded.Trials, want.Trials)
 	}

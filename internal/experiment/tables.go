@@ -57,18 +57,11 @@ func runAlphaColumn(kind Kind, backups, alpha int, opts Options, brute bool) Alp
 	col.NetworkLoad = m.Network().NetworkLoad()
 	col.SpareBW = m.Network().SpareFraction()
 
-	wrap := func(m *core.Manager) Trialer {
-		if brute {
-			return baseline.NewBruteForce(m, baseline.UniformSpareFromManager(m), true)
-		}
-		return m
+	var trialer Trialer = m
+	if brute {
+		trialer = baseline.NewBruteForce(m, baseline.UniformSpareFromManager(m), true)
 	}
-	build := reusableBuild(wrap(m), func() Trialer {
-		w := core.NewManager(NewGraph(kind), opts.config())
-		EstablishAllPairs(w, UniformDegrees(backups, alpha))
-		return wrap(w)
-	})
-	res := sweepMany(build, [][]core.Failure{
+	res := sweepMany(trialer, [][]core.Failure{
 		AllSingleLinkFailures(g),
 		AllSingleNodeFailures(g),
 		AllDoubleNodeFailures(g, opts.DoubleNodeSample, opts.Seed),
@@ -144,12 +137,7 @@ func RunTable2(kind Kind, backups int, alphas []int, opts Options) Table2Result 
 		Established: est, Rejected: rej,
 		SpareBW: m.Network().SpareFraction(),
 	}
-	build := reusableBuild(m, func() Trialer {
-		w := core.NewManager(NewGraph(kind), opts.config())
-		EstablishAllPairs(w, CyclicDegrees(backups, alphas))
-		return w
-	})
-	sw := sweepMany(build, [][]core.Failure{
+	sw := sweepMany(m, [][]core.Failure{
 		AllSingleLinkFailures(g),
 		AllSingleNodeFailures(g),
 		AllDoubleNodeFailures(g, opts.DoubleNodeSample, opts.Seed),
