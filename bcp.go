@@ -4,13 +4,16 @@ import (
 	"math/rand"
 
 	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/conformance"
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/experiment"
+	"github.com/rtcl/bcp/internal/metrics"
 	"github.com/rtcl/bcp/internal/reliability"
 	"github.com/rtcl/bcp/internal/routing"
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 	"github.com/rtcl/bcp/internal/workload"
 )
 
@@ -164,6 +167,56 @@ func DefaultProtocolConfig() ProtocolConfig { return bcpd.DefaultConfig() }
 func NewProtocol(eng *Engine, mgr *Manager, cfg ProtocolConfig) *Protocol {
 	return bcpd.New(eng, mgr, cfg)
 }
+
+// --- Observability --------------------------------------------------------
+
+type (
+	// TraceEvent is one typed protocol event (failure, report hop, state
+	// transition, claim, activation, rejoin, RCC frame...).
+	TraceEvent = trace.Event
+	// TraceKind discriminates TraceEvents.
+	TraceKind = trace.Kind
+	// TraceSink receives protocol events; set ProtocolConfig.Sink to tap a
+	// run. A nil sink costs nothing.
+	TraceSink = trace.Sink
+	// TraceRecorder is a TraceSink that buffers events in memory.
+	TraceRecorder = trace.Recorder
+	// TraceTee fans one event stream out to several sinks.
+	TraceTee = trace.Tee
+	// ConformanceParams tunes the trace-driven protocol checker.
+	ConformanceParams = conformance.Params
+	// ConformanceViolation is one invariant breach found in a trace.
+	ConformanceViolation = conformance.Violation
+	// ConformanceChecker validates an event stream against the Figure-4
+	// state machine, claim balance, the Γ recovery bound, and component
+	// health; it is itself a streaming TraceSink.
+	ConformanceChecker = conformance.Checker
+	// ProtocolAggregator folds an event stream into counters and
+	// histograms (recovery delay, RCC batching).
+	ProtocolAggregator = metrics.ProtocolAggregator
+	// TraceScenario parameterizes the canonical single-connection
+	// failure-recovery run (cmd/bcptrace, golden tests).
+	TraceScenario = experiment.TraceScenario
+	// TraceRun is a TraceScenario's recorded outcome.
+	TraceRun = experiment.TraceRun
+)
+
+var (
+	// NewConformanceChecker builds a streaming checker.
+	NewConformanceChecker = conformance.New
+	// CheckConformance validates a recorded event stream.
+	CheckConformance = conformance.Check
+	// NewProtocolAggregator builds an empty counter/histogram aggregator.
+	NewProtocolAggregator = metrics.NewProtocolAggregator
+	// WriteTraceJSONL / ReadTraceJSONL are the JSONL trace codec used by
+	// `bcptrace -json`.
+	WriteTraceJSONL = trace.WriteJSONL
+	ReadTraceJSONL  = trace.ReadJSONL
+	// DefaultTraceScenario / RunTraceScenario run the canonical recovery
+	// scenario and return its event stream.
+	DefaultTraceScenario = experiment.DefaultTraceScenario
+	RunTraceScenario     = experiment.RunTraceScenario
+)
 
 // --- Reliability mathematics --------------------------------------------
 

@@ -219,6 +219,51 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "SweepParallel done\n")
 
+	// ProtocolTrace: one full message-level recovery scenario — an 8-hop
+	// torus connection under 500 msg/s of data traffic, a mid-primary link
+	// crash at 50 ms, one simulated second end to end. The nil-sink variant
+	// is the zero-overhead guard for the observability layer (every trace
+	// emission sits behind a disabled-emitter branch); the recorded variant
+	// prices full event capture.
+	runProtocol := func(b *testing.B, sink bcp.TraceSink) {
+		g := bcp.NewTorus(8, 8, 200)
+		mgr := bcp.NewManager(g, bcp.DefaultConfig())
+		paths := bcp.SequentialDisjointPaths(g, 0, 36, 2, bcp.RoutingConstraint{})
+		if len(paths) < 2 {
+			b.Fatal("no disjoint paths on the torus")
+		}
+		conn, err := mgr.EstablishOnPaths(bcp.DefaultSpec(), paths[0], paths[1:2], []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := bcp.NewEngine(1)
+		cfg := bcp.DefaultProtocolConfig()
+		cfg.Sink = sink
+		net := bcp.NewProtocol(eng, mgr, cfg)
+		if err := net.StartTraffic(conn.ID, 500); err != nil {
+			b.Fatal(err)
+		}
+		fail := conn.Primary.Path.Links()[2]
+		eng.At(bcp.Time(50*time.Millisecond), func() { net.FailLink(fail) })
+		eng.RunFor(time.Second)
+		if len(net.SourceSwitches(conn.ID)) != 1 {
+			b.Fatal("scenario did not recover")
+		}
+	}
+	results = append(results, measure("ProtocolTrace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runProtocol(b, nil)
+		}
+	}))
+	results = append(results, measure("ProtocolTraceRecorded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runProtocol(b, &bcp.TraceRecorder{})
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "ProtocolTrace done\n")
+
 	if *workers > 1 {
 		opts := bcp.DefaultExperimentOptions()
 		opts.DoubleNodeSample = 200

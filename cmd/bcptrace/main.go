@@ -1,7 +1,8 @@
 // Command bcptrace runs one failure-recovery scenario through the
-// message-level BCP protocol engine and prints every protocol event with
-// its simulated timestamp: detection, failure reports, activations,
-// spare-bandwidth claims, multiplexing failures, rejoins, and teardowns.
+// message-level BCP protocol engine and renders its typed event stream:
+// detection, failure reports and their hops, Figure-4 state transitions,
+// activations, spare-bandwidth claims, multiplexing failures, rejoins,
+// teardowns, and RCC retransmissions.
 //
 // Usage:
 //
@@ -10,6 +11,8 @@
 //	bcptrace -fail 5               # crash the primary's 6th link
 //	bcptrace -backups 2 -hit-first # also crash backup 1: activation retrial
 //	bcptrace -repair 200ms         # repair the link, watch the rejoin
+//	bcptrace -json > run.jsonl     # machine-readable JSONL export
+//	bcptrace -rcc                  # include per-frame RCC transport events
 package main
 
 import (
@@ -19,11 +22,10 @@ import (
 	"time"
 
 	"github.com/rtcl/bcp/internal/bcpd"
-	"github.com/rtcl/bcp/internal/core"
-	"github.com/rtcl/bcp/internal/routing"
-	"github.com/rtcl/bcp/internal/rtchan"
-	"github.com/rtcl/bcp/internal/sim"
-	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/conformance"
+	"github.com/rtcl/bcp/internal/experiment"
+	"github.com/rtcl/bcp/internal/metrics"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 func main() {
@@ -34,76 +36,152 @@ func main() {
 		hitFirst = flag.Bool("hit-first", false, "also crash the first backup's last link")
 		repair   = flag.Duration("repair", 0, "repair the failed link after this delay (0 = never)")
 		rate     = flag.Float64("rate", 500, "data message rate (msgs/s)")
+		jsonOut  = flag.Bool("json", false, "emit the event stream as JSONL on stdout")
+		withRCC  = flag.Bool("rcc", false, "include per-frame RCC transport events in the rendering")
 	)
 	flag.Parse()
 
-	g := topology.NewTorus(8, 8, 200)
-	eng := sim.New(1)
-	mgr := core.NewManager(g, core.DefaultConfig())
-
-	src, dst := topology.NodeID(0), topology.NodeID(36)
-	paths := mgr.Router().SequentialDisjointPaths(src, dst, *backups+1, routing.Constraint{})
-	if len(paths) < *backups+1 {
-		fmt.Fprintln(os.Stderr, "bcptrace: not enough disjoint paths")
-		os.Exit(1)
-	}
-	degrees := make([]int, *backups)
-	for i := range degrees {
-		degrees[i] = 1
-	}
-	conn, err := mgr.EstablishOnPaths(rtchan.DefaultSpec(), paths[0], paths[1:*backups+1], degrees)
+	s := experiment.DefaultTraceScenario()
+	s.Scheme = bcpd.Scheme(*scheme)
+	s.FailPos = *failPos
+	s.Backups = *backups
+	s.HitFirst = *hitFirst
+	s.Repair = *repair
+	s.Rate = *rate
+	run, err := experiment.RunTraceScenario(s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcptrace:", err)
 		os.Exit(1)
 	}
+
+	if *jsonOut {
+		if err := trace.WriteJSONL(os.Stdout, run.Events); err != nil {
+			fmt.Fprintln(os.Stderr, "bcptrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	conn := run.Conn
 	fmt.Printf("connection %d: primary %v\n", conn.ID, conn.Primary.Path)
 	for i, b := range conn.Backups {
 		fmt.Printf("backup %d: %v\n", i+1, b.Path)
 	}
-
-	cfg := bcpd.DefaultConfig()
-	cfg.Scheme = bcpd.Scheme(*scheme)
-	cfg.RejoinTimeout = 2 * time.Second
-	cfg.RejoinProbeDelay = 100 * time.Millisecond
-	cfg.Trace = func(at sim.Time, node topology.NodeID, event string) {
-		fmt.Printf("%12v  node %-2d  %s\n", time.Duration(at), node, event)
-	}
-	net := bcpd.New(eng, mgr, cfg)
-	if err := net.StartTraffic(conn.ID, *rate); err != nil {
-		fmt.Fprintln(os.Stderr, "bcptrace:", err)
-		os.Exit(1)
-	}
-
-	if *failPos < 0 || *failPos >= len(conn.Primary.Path.Links()) {
-		fmt.Fprintln(os.Stderr, "bcptrace: fail index out of range")
-		os.Exit(1)
-	}
-	failLink := conn.Primary.Path.Links()[*failPos]
-	failAt := sim.Time(50 * time.Millisecond)
-	eng.At(failAt, func() {
-		lk := g.Link(failLink)
-		fmt.Printf("%12v  ---     link %d->%d crashes\n", time.Duration(failAt), lk.From, lk.To)
-		net.FailLink(failLink)
-		if *hitFirst && len(conn.Backups) > 0 {
-			bl := conn.Backups[0].Path.Links()
-			last := bl[len(bl)-1]
-			lk := g.Link(last)
-			fmt.Printf("%12v  ---     link %d->%d crashes\n", time.Duration(failAt), lk.From, lk.To)
-			net.FailLink(last)
+	agg := metrics.NewProtocolAggregator()
+	for _, ev := range run.Events {
+		agg.Emit(ev)
+		switch ev.Kind {
+		case trace.KindRCCFrame, trace.KindRCCRetransmit, trace.KindRCCAck:
+			if !*withRCC {
+				continue
+			}
+		case trace.KindState:
+			// Transitions are numerous; render only end-node and failure
+			// transitions to keep the default view readable.
+			if ev.To == trace.StateB && ev.From == trace.StateN {
+				continue
+			}
 		}
-	})
-	if *repair > 0 {
-		eng.At(failAt.Add(sim.Duration(*repair)), func() {
-			fmt.Printf("%12v  ---     failed link repaired\n", time.Duration(eng.Now()))
-			net.RepairLink(failLink)
-		})
+		fmt.Printf("%12v  %s\n", time.Duration(ev.At), describe(ev))
 	}
-	eng.RunFor(3 * time.Second)
 
-	st := net.Stats()
+	st := run.Net.Stats()
 	fmt.Printf("\nsummary: reports=%d activations=%d muxfail=%d rejoins=%d expiries=%d\n",
 		st.ReportsGenerated, st.ActivationsStarted, st.MuxFailures, st.Rejoins, st.RejoinExpiries)
 	fmt.Printf("data: sent=%d delivered=%d lost=%d  disruption=%v\n",
 		st.DataSent, st.DataDelivered, st.DataSent-st.DataDelivered,
-		time.Duration(net.MaxArrivalGap(conn.ID)))
+		time.Duration(run.Net.MaxArrivalGap(conn.ID)))
+	fmt.Printf("\n%s", agg.Render())
+
+	p := conformance.Params{
+		DMax:           run.DMax,
+		DetectionSlack: bcpd.DefaultConfig().DetectionLatency + s.Repair,
+		PropSlack:      bcpd.DefaultConfig().PropDelay,
+	}
+	// A run that ends mid-rejoin can hold claims legitimately; bcptrace is
+	// a viewer, so report rather than fail.
+	p.AllowOutstandingClaims = true
+	if viols := conformance.Check(run.Events, p); len(viols) > 0 {
+		fmt.Printf("\nconformance violations:\n")
+		for _, v := range viols {
+			fmt.Printf("  %v\n", v)
+		}
+	} else {
+		fmt.Printf("\nconformance: ok\n")
+	}
+}
+
+// describe renders one event like the old printf trace: a node column when
+// the event has a location, then the story.
+func describe(ev trace.Event) string {
+	loc := "---    "
+	if ev.Node >= 0 {
+		loc = fmt.Sprintf("node %-2d", ev.Node)
+	}
+	var what string
+	switch ev.Kind {
+	case trace.KindLinkDown:
+		what = fmt.Sprintf("link %d crashes", ev.Link)
+	case trace.KindLinkUp:
+		what = fmt.Sprintf("link %d repaired", ev.Link)
+	case trace.KindNodeDown:
+		what = "node crashes"
+	case trace.KindNodeUp:
+		what = "node repaired"
+	case trace.KindDetect:
+		what = fmt.Sprintf("heartbeats lost on link %d: declaring failure", ev.Link)
+	case trace.KindReportOriginate:
+		what = fmt.Sprintf("detects failure of channel %d, reporting toward %+d", ev.Channel, ev.Aux)
+	case trace.KindReportHop:
+		what = fmt.Sprintf("failure report for channel %d arrives via link %d", ev.Channel, ev.Link)
+	case trace.KindState:
+		what = fmt.Sprintf("channel %d: %v -> %v", ev.Channel, ev.From, ev.To)
+	case trace.KindInstall:
+		what = fmt.Sprintf("channel %d installed as %v (%d hops)", ev.Channel, ev.To, ev.Aux)
+	case trace.KindActivationStart:
+		end := "destination"
+		if ev.Aux == 1 {
+			end = "source"
+		}
+		what = fmt.Sprintf("activating backup %d from the %s", ev.Channel, end)
+	case trace.KindActivationHop:
+		what = fmt.Sprintf("activation of backup %d arrives via link %d", ev.Channel, ev.Link)
+	case trace.KindActivationMeet:
+		what = fmt.Sprintf("activations of backup %d meet: discarding", ev.Channel)
+	case trace.KindActivationDone:
+		what = fmt.Sprintf("activation of backup %d complete: promoting", ev.Channel)
+	case trace.KindSourceSwitch:
+		what = fmt.Sprintf("source of connection %d resumes data on channel %d", ev.Conn, ev.Channel)
+	case trace.KindClaim:
+		what = fmt.Sprintf("channel %d claims spare on link %d", ev.Channel, ev.Link)
+	case trace.KindClaimRelease:
+		what = fmt.Sprintf("channel %d releases claim on link %d", ev.Channel, ev.Link)
+	case trace.KindClaimConvert:
+		what = fmt.Sprintf("claim of channel %d on link %d converted to dedicated", ev.Channel, ev.Link)
+	case trace.KindPreempt:
+		what = fmt.Sprintf("channel %d preempts claim of channel %d on link %d", ev.Channel, ev.Aux, ev.Link)
+	case trace.KindMuxFailure:
+		what = fmt.Sprintf("multiplexing failure for backup %d", ev.Channel)
+	case trace.KindRejoinRequest:
+		what = fmt.Sprintf("probing failed channel %d with rejoin-request", ev.Channel)
+	case trace.KindRejoin:
+		what = fmt.Sprintf("channel %d repaired: sending rejoin", ev.Channel)
+	case trace.KindRejoinExpire:
+		what = fmt.Sprintf("rejoin timer expired for channel %d: tearing down", ev.Channel)
+	case trace.KindClosure:
+		what = fmt.Sprintf("closing channel %d", ev.Channel)
+	case trace.KindTeardown:
+		what = fmt.Sprintf("tearing down connection %d", ev.Conn)
+	case trace.KindReplenish:
+		what = fmt.Sprintf("connection %d replenished with backup %d (%d hops)", ev.Conn, ev.Channel, ev.Aux)
+	case trace.KindRCCFrame:
+		what = fmt.Sprintf("rcc frame on link %d (%d controls)", ev.Link, ev.Aux)
+	case trace.KindRCCRetransmit:
+		what = fmt.Sprintf("rcc retransmits frame %d on link %d", ev.Aux, ev.Link)
+	case trace.KindRCCAck:
+		what = fmt.Sprintf("rcc pure ack on link %d (cum %d)", ev.Link, ev.Aux)
+	default:
+		what = ev.String()
+	}
+	return loc + "  " + what
 }

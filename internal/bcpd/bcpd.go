@@ -30,6 +30,7 @@ import (
 	"github.com/rtcl/bcp/internal/sched"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 	"github.com/rtcl/bcp/internal/wire"
 )
 
@@ -98,10 +99,18 @@ type Config struct {
 	// HeartbeatMiss is the consecutive-miss threshold (default 3).
 	HeartbeatMiss int
 
-	// Trace, when non-nil, receives a line for every protocol event
-	// (reports, activations, claims, rejoins), timestamped in simulated
-	// time. Used by the bcptrace tool and debugging sessions.
-	Trace func(at sim.Time, node topology.NodeID, event string)
+	// Sink, when non-nil, receives a typed trace.Event for every protocol
+	// occurrence (detection, report and activation hops, Figure-4 state
+	// transitions, claims, multiplexing failures, rejoins, teardowns, RCC
+	// retransmissions/ACKs), timestamped in simulated time. Consumed by the
+	// conformance checker, the metrics aggregator, and the bcptrace tool.
+	// A nil sink is free on the hot path: emissions are guarded by a single
+	// branch and no event is constructed.
+	Sink trace.Sink
+	// FrameTap, when non-nil, observes every marshaled RCC frame as it
+	// enters link's scheduler (before any loss). Used to harvest real
+	// frame encodings, e.g. as a fuzzing corpus.
+	FrameTap func(link topology.LinkID, frame []byte)
 }
 
 // DefaultConfig returns timing typical of the paper's setting: millisecond
@@ -150,6 +159,10 @@ type Network struct {
 	heartbeatLastSeen map[topology.LinkID]sim.Time
 	declaredDown      map[topology.LinkID]bool
 
+	// em wraps cfg.Sink; the zero Emitter (nil sink) disables all protocol
+	// event emission at the cost of one branch per site.
+	em trace.Emitter
+
 	stats Stats
 }
 
@@ -192,7 +205,13 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 
 		heartbeatLastSeen: make(map[topology.LinkID]sim.Time),
 		declaredDown:      make(map[topology.LinkID]bool),
+
+		em: trace.NewEmitter(cfg.Sink),
 	}
+	// The resource plane shares the sink so claim-path events (claim,
+	// release, convert, preempt, rejoin re-registration) interleave with the
+	// protocol's, timestamped by the same engine.
+	mgr.SetProtocolTrace(cfg.Sink, eng)
 	for i := range n.nodes {
 		n.nodes[i] = newDaemon(n, topology.NodeID(i))
 	}
@@ -202,14 +221,34 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 		lr.sl = sched.NewLink(eng, l.Capacity, cfg.PropDelay, cfg.MaxQueue, func(p sched.Packet) {
 			n.deliver(l, p)
 		})
-		lr.rccE = rcc.NewEndpoint(eng, cfg.RCC,
-			func(frame []byte) {
-				lr.sl.Enqueue(sched.Packet{Class: sched.ClassControl, Size: len(frame), Payload: rccPayload(frame)})
-			},
+		// The endpoint for link l sends over l and receives frames that
+		// traversed the reverse link, delivering their controls to l.From.
+		rev := g.Reverse(l.ID)
+		send := func(frame []byte) {
+			lr.sl.Enqueue(sched.Packet{Class: sched.ClassControl, Size: len(frame), Payload: rccPayload(frame)})
+		}
+		if tap := cfg.FrameTap; tap != nil {
+			inner := send
+			send = func(frame []byte) {
+				tap(l.ID, frame)
+				inner(frame)
+			}
+		}
+		lr.rccE = rcc.NewEndpoint(eng, cfg.RCC, send,
 			func(c wireControl) {
-				n.nodes[l.From].handleControl(c)
+				d := n.nodes[l.From]
+				if n.em.Enabled() && !d.dead {
+					switch c.Type {
+					case wire.MsgFailureReport:
+						n.emitHop(trace.KindReportHop, rev, l.From, rtchan.ChannelID(c.Channel))
+					case wire.MsgActivation:
+						n.emitHop(trace.KindActivationHop, rev, l.From, rtchan.ChannelID(c.Channel))
+					}
+				}
+				d.handleControl(c)
 			},
 		)
+		lr.rccE.SetTrace(cfg.Sink, l.From, l.ID)
 		n.links[l.ID] = lr
 	}
 	// Install channel state for everything already established.
@@ -236,15 +275,100 @@ func (n *Network) Daemon(v topology.NodeID) *daemon { return n.nodes[v] }
 // channels.
 func (n *Network) installConnection(conn *core.DConnection) {
 	if conn.Primary != nil {
+		n.emitInstall(conn.ID, conn.Primary, trace.StateP)
 		for _, v := range conn.Primary.Path.Nodes() {
 			n.nodes[v].setState(conn.Primary.ID, stateP)
 		}
 	}
 	for _, b := range conn.Backups {
+		n.emitInstall(conn.ID, b, trace.StateB)
 		for _, v := range b.Path.Nodes() {
 			n.nodes[v].setState(b.ID, stateB)
 		}
 	}
+}
+
+// emitInstall records a channel entering the protocol plane with the given
+// role; Aux carries the hop count for Γ-bound consumers.
+func (n *Network) emitInstall(connID rtchan.ConnID, ch *rtchan.Channel, role trace.State) {
+	if !n.em.Enabled() {
+		return
+	}
+	n.em.Emit(trace.Event{
+		At:      n.eng.Now(),
+		Kind:    trace.KindInstall,
+		Node:    topology.NoNode,
+		Link:    topology.NoLink,
+		Conn:    connID,
+		Channel: ch.ID,
+		To:      role,
+		Aux:     int64(ch.Path.Hops()),
+	})
+}
+
+// emitHop records a report/activation delivery across a link; callers check
+// n.em.Enabled().
+func (n *Network) emitHop(kind trace.Kind, l topology.LinkID, at topology.NodeID, ch rtchan.ChannelID) {
+	n.em.Emit(trace.Event{
+		At:      n.eng.Now(),
+		Kind:    kind,
+		Node:    at,
+		Link:    l,
+		Conn:    n.connOf(ch),
+		Channel: ch,
+	})
+}
+
+// emitChan records a per-channel protocol event at a node; callers check
+// n.em.Enabled().
+func (n *Network) emitChan(kind trace.Kind, node topology.NodeID, ch rtchan.ChannelID, aux int64) {
+	n.em.Emit(trace.Event{
+		At:      n.eng.Now(),
+		Kind:    kind,
+		Node:    node,
+		Link:    topology.NoLink,
+		Conn:    n.connOf(ch),
+		Channel: ch,
+		Aux:     aux,
+	})
+}
+
+// emitState records a Figure-4 transition at a node; callers check
+// n.em.Enabled(). The chanState and trace.State enumerations share their
+// N/P/B/U ordering, so the conversion is a cast.
+func (n *Network) emitState(node topology.NodeID, ch rtchan.ChannelID, from, to chanState) {
+	n.em.Emit(trace.Event{
+		At:      n.eng.Now(),
+		Kind:    trace.KindState,
+		Node:    node,
+		Link:    topology.NoLink,
+		Conn:    n.connOf(ch),
+		Channel: ch,
+		From:    trace.State(from),
+		To:      trace.State(to),
+	})
+}
+
+// emitComponent records a component crash/repair; callers check Enabled().
+func (n *Network) emitComponent(kind trace.Kind, node topology.NodeID, link topology.LinkID) {
+	n.em.Emit(trace.Event{
+		At:   n.eng.Now(),
+		Kind: kind,
+		Node: node,
+		Link: link,
+	})
+}
+
+// connOf resolves a channel to its connection, falling back to the retired
+// table for channels the resource plane has already released.
+func (n *Network) connOf(ch rtchan.ChannelID) rtchan.ConnID {
+	if c := n.mgr.Network().Channel(ch); c != nil {
+		return c.Conn
+	}
+	if c := n.retired[ch]; c != nil {
+		return c.Conn
+	}
+	return 0
 }
 
 // Establish routes and installs a new D-connection through the resource
@@ -268,12 +392,24 @@ func (n *Network) TeardownConnection(connID rtchan.ConnID) error {
 		return fmt.Errorf("bcpd: unknown connection %d", connID)
 	}
 	n.StopTraffic(connID)
+	if n.em.Enabled() {
+		n.em.Emit(trace.Event{
+			At:   n.eng.Now(),
+			Kind: trace.KindTeardown,
+			Node: conn.Src,
+			Link: topology.NoLink,
+			Conn: connID,
+		})
+	}
 	for _, ch := range conn.Channels() {
 		n.retired[ch.ID] = ch
 		src := n.nodes[ch.Path.Source()]
 		src.stopRejoinTimer(ch.ID)
 		src.setState(ch.ID, stateN)
 		n.stats.Closures++
+		if n.em.Enabled() {
+			n.emitChan(trace.KindClosure, src.id, ch.ID, 0)
+		}
 		src.forwardAlong(ch, wireControl{
 			Type:    wire.MsgChannelClosure,
 			Channel: int64(ch.ID),
@@ -312,10 +448,12 @@ func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
 		}
 		n.stats.BackupsReplenished += uint64(added)
 		for _, b := range conn.Backups[before:] {
+			if n.em.Enabled() {
+				n.emitChan(trace.KindReplenish, conn.Src, b.ID, int64(b.Path.Hops()))
+			}
 			for _, v := range b.Path.Nodes() {
 				n.nodes[v].setState(b.ID, stateB)
 			}
-			n.trace(conn.Src, "connection %d replenished with backup %d (%v)", connID, b.ID, b.Path)
 		}
 	})
 }
@@ -338,13 +476,6 @@ func (n *Network) deliver(l topology.Link, p sched.Packet) {
 		n.heartbeatLastSeen[pl.link] = n.eng.Now()
 	default:
 		panic(fmt.Sprintf("bcpd: unknown payload %T", p.Payload))
-	}
-}
-
-// trace emits a protocol-event line when tracing is enabled.
-func (n *Network) trace(node topology.NodeID, format string, args ...interface{}) {
-	if n.cfg.Trace != nil {
-		n.cfg.Trace(n.eng.Now(), node, fmt.Sprintf(format, args...))
 	}
 }
 

@@ -4,11 +4,43 @@ import (
 	"testing"
 	"time"
 
+	"github.com/rtcl/bcp/internal/conformance"
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
+
+// attachConformance tees a streaming conformance checker into cfg's sink and
+// fails the test at cleanup on any protocol-invariant violation, so every
+// test through the shared testbed is invariant-checked, not just
+// end-state-checked.
+func attachConformance(t *testing.T, cfg *Config, p conformance.Params) *conformance.Checker {
+	t.Helper()
+	c := conformance.New(p)
+	if cfg.Sink == nil {
+		cfg.Sink = c
+	} else {
+		cfg.Sink = trace.Tee{cfg.Sink, c}
+	}
+	t.Cleanup(func() {
+		for _, v := range c.Finish() {
+			t.Errorf("conformance: %v", v)
+		}
+	})
+	return c
+}
+
+// conformanceParams derives checker tolerances from a run's protocol
+// configuration: no Γ bound (testbed scenarios include congestion and
+// preemption), in-flight delivery tolerated for one propagation delay plus
+// a generous residual-transmission allowance.
+func conformanceParams(cfg Config) conformance.Params {
+	return conformance.Params{
+		PropSlack: cfg.PropDelay + sim.Duration(2*time.Millisecond),
+	}
+}
 
 // testbed is a 3x3 mesh with one D-connection 0->2 (primary 0-1-2, backup
 // 0-3-4-5-2) plus helpers.
@@ -46,6 +78,7 @@ func newTestbed(t *testing.T, cfg Config) *testbed {
 	if err != nil {
 		t.Fatal(err)
 	}
+	attachConformance(t, &cfg, conformanceParams(cfg))
 	net := New(eng, mgr, cfg)
 	return &testbed{g: g, eng: eng, mgr: mgr, net: net, conn: conn}
 }
@@ -215,7 +248,9 @@ func TestSequentialFailuresWithTwoBackups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := New(eng, mgr, DefaultConfig())
+	cfg := DefaultConfig()
+	attachConformance(t, &cfg, conformanceParams(cfg))
+	net := New(eng, mgr, cfg)
 	if err := net.StartTraffic(conn.ID, 1000); err != nil {
 		t.Fatal(err)
 	}
@@ -247,6 +282,7 @@ func TestReplenishRestoresFaultTolerance(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ReplenishDelay = sim.Duration(100 * time.Millisecond)
 	cfg.ReplenishTarget = 1
+	attachConformance(t, &cfg, conformanceParams(cfg))
 	net := New(eng, mgr, cfg)
 	if err := net.StartTraffic(conn.ID, 1000); err != nil {
 		t.Fatal(err)
@@ -320,7 +356,9 @@ func TestDivergentBackupSelectionConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := New(eng, mgr, DefaultConfig())
+	cfg := DefaultConfig()
+	attachConformance(t, &cfg, conformanceParams(cfg))
+	net := New(eng, mgr, cfg)
 	if err := net.StartTraffic(conn.ID, 1000); err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +464,9 @@ func TestMuxFailureTriggersNextBackup(t *testing.T) {
 	if got := mgr.Network().Spare(g.LinkBetween(5, 6)); got != 1 {
 		t.Fatalf("spare on 5->6 = %g, want 1 (multiplexed)", got)
 	}
-	net := New(eng, mgr, DefaultConfig())
+	cfg := DefaultConfig()
+	attachConformance(t, &cfg, conformanceParams(cfg))
+	net := New(eng, mgr, cfg)
 	if err := net.StartTraffic(connA.ID, 500); err != nil {
 		t.Fatal(err)
 	}

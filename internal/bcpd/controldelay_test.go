@@ -32,6 +32,7 @@ func TestControlDelayUnderSaturatedData(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.DataMsgSize = 1250 // 1 ms of transmission per hop at 10 Mbps
+	attachConformance(t, &cfg, conformanceParams(cfg))
 	net := New(eng, mgr, cfg)
 	// Saturate the line: 8 Mbps of the 10 Mbps capacity.
 	if err := net.StartTraffic(conn.ID, 800); err != nil {

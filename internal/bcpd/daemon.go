@@ -5,6 +5,7 @@ import (
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 	"github.com/rtcl/bcp/internal/wire"
 )
 
@@ -61,11 +62,15 @@ func newDaemon(n *Network, id topology.NodeID) *daemon {
 func (d *daemon) State(ch rtchan.ChannelID) chanState { return d.states[ch] }
 
 func (d *daemon) setState(ch rtchan.ChannelID, s chanState) {
+	old := d.states[ch]
 	if s == stateN {
 		delete(d.states, ch)
-		return
+	} else {
+		d.states[ch] = s
 	}
-	d.states[ch] = s
+	if old != s && d.net.em.Enabled() {
+		d.net.emitState(d.id, ch, old, s)
+	}
 }
 
 func (d *daemon) channel(id rtchan.ChannelID) *rtchan.Channel {
@@ -136,7 +141,9 @@ func (d *daemon) originateFailureReport(ch rtchan.ChannelID, toward int8) {
 		return
 	}
 	d.net.stats.ReportsGenerated++
-	d.net.trace(d.id, "detects failure of channel %d, reporting toward %+d", ch, toward)
+	if d.net.em.Enabled() {
+		d.net.emitChan(trace.KindReportOriginate, d.id, ch, int64(toward))
+	}
 	d.handleFailureReport(wireControl{
 		Type:    wire.MsgFailureReport,
 		Channel: int64(ch),
@@ -257,7 +264,13 @@ func (d *daemon) initiateSwitch(conn *core.DConnection) {
 // claim on the adjacent link, and an activation message down the path.
 func (d *daemon) startActivation(conn *core.DConnection, b *rtchan.Channel, fromSource bool) {
 	d.net.stats.ActivationsStarted++
-	d.net.trace(d.id, "activating backup %d of connection %d (fromSource=%v)", b.ID, conn.ID, fromSource)
+	if d.net.em.Enabled() {
+		var aux int64
+		if fromSource {
+			aux = 1
+		}
+		d.net.emitChan(trace.KindActivationStart, d.id, b.ID, aux)
+	}
 	d.setState(b.ID, stateP)
 	links := b.Path.Links()
 	var claimLink topology.LinkID
@@ -300,6 +313,9 @@ func (d *daemon) handleActivation(c wireControl) {
 	case stateP:
 		// Already activated from the other end (Scheme 3 meeting point).
 		d.net.stats.ActivationsMet++
+		if d.net.em.Enabled() {
+			d.net.emitChan(trace.KindActivationMeet, d.id, chID, 0)
+		}
 		d.finalizeActivation(b)
 		return
 	case stateN:
@@ -350,12 +366,14 @@ func (d *daemon) finalizeActivation(b *rtchan.Channel) {
 	if conn == nil {
 		return
 	}
-	d.net.trace(d.id, "activation of backup %d complete: promoting", b.ID)
 	if err := d.net.mgr.ActivateClaimed(b.Conn, b); err != nil {
 		// Spare raced away between claim and promotion; treat as a
 		// multiplexing failure.
 		d.muxFailure(b)
 		return
+	}
+	if d.net.em.Enabled() {
+		d.net.emitChan(trace.KindActivationDone, d.id, b.ID, 0)
 	}
 	d.net.activated[b.ID] = true
 	d.net.scheduleReplenish(b.Conn)
@@ -377,7 +395,6 @@ func (d *daemon) claimOrPreempt(b *rtchan.Channel, l topology.LinkID) bool {
 		return false
 	}
 	d.net.stats.Preemptions++
-	d.net.trace(d.id, "backup %d preempts lower-priority claim of %d on link %d", b.ID, victim, l)
 	// The preempted channel is handled as if disabled by a component
 	// failure: report from here toward both of its end nodes.
 	if vch := d.channel(victim); vch != nil {
@@ -417,7 +434,9 @@ func (d *daemon) reportBothWays(ch *rtchan.Channel) {
 // they can try the next serial (§4.1).
 func (d *daemon) muxFailure(b *rtchan.Channel) {
 	d.net.stats.MuxFailures++
-	d.net.trace(d.id, "multiplexing failure for backup %d", b.ID)
+	if d.net.em.Enabled() {
+		d.net.emitChan(trace.KindMuxFailure, d.id, b.ID, 0)
+	}
 	for _, l := range b.Path.Links() {
 		d.net.mgr.ReleaseClaimFor(l, b.ID)
 	}
@@ -437,7 +456,9 @@ func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
 			return
 		}
 		d.net.stats.RejoinExpiries++
-		d.net.trace(d.id, "rejoin timer expired for channel %d: tearing down", chID)
+		if d.net.em.Enabled() {
+			d.net.emitChan(trace.KindRejoinExpire, d.id, chID, 0)
+		}
 		d.setState(chID, stateN)
 		// First expiry reclaims the channel's resources network-wide; the
 		// call is idempotent across nodes.
@@ -458,6 +479,9 @@ func (d *daemon) scheduleRejoinProbe(ch *rtchan.Channel) {
 			return
 		}
 		d.net.stats.RejoinRequests++
+		if d.net.em.Enabled() {
+			d.net.emitChan(trace.KindRejoinRequest, d.id, chID, 0)
+		}
 		d.forwardAlong(c, wireControl{
 			Type: wire.MsgRejoinRequest, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
 		})
@@ -473,7 +497,9 @@ func (d *daemon) handleRejoinRequest(c wireControl) {
 	if d.id == ch.Path.Destination() {
 		// Channel path is whole again: confirm with a rejoin message.
 		d.net.stats.Rejoins++
-		d.net.trace(d.id, "channel %d repaired: sending rejoin", chID)
+		if d.net.em.Enabled() {
+			d.net.emitChan(trace.KindRejoin, d.id, chID, 0)
+		}
 		d.setState(chID, stateB)
 		d.stopRejoinTimer(chID)
 		d.forwardAlong(ch, wireControl{
@@ -503,6 +529,9 @@ func (d *daemon) handleRejoin(c wireControl) {
 		// Timer already expired here: undo the repair along the rest of
 		// the path (Figure 6).
 		d.net.stats.Closures++
+		if d.net.em.Enabled() {
+			d.net.emitChan(trace.KindClosure, d.id, chID, 0)
+		}
 		d.forwardAlong(ch, wireControl{
 			Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
 		})
@@ -532,6 +561,9 @@ func (d *daemon) completeRejoin(ch *rtchan.Channel) {
 
 func (d *daemon) abandonRejoin(ch *rtchan.Channel) {
 	d.net.stats.Closures++
+	if d.net.em.Enabled() {
+		d.net.emitChan(trace.KindClosure, d.id, ch.ID, 0)
+	}
 	d.setState(ch.ID, stateN)
 	d.forwardAlong(ch, wireControl{
 		Type: wire.MsgChannelClosure, Channel: int64(ch.ID), Origin: int32(d.id), Toward: 1,

@@ -7,6 +7,8 @@ import (
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sched"
 	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 // source emits a connection's data messages at a fixed rate along the
@@ -138,8 +140,19 @@ func (n *Network) noteSourceSwitch(connID rtchan.ConnID, ch rtchan.ChannelID) {
 	}
 	s.active = ch
 	s.switchedAt = append(s.switchedAt, n.eng.Now())
-	if c := n.mgr.Network().Channel(ch); c != nil {
-		n.trace(c.Path.Source(), "source of connection %d resumes data on channel %d", connID, ch)
+	if n.em.Enabled() {
+		node := topology.NoNode
+		if c := n.mgr.Network().Channel(ch); c != nil {
+			node = c.Path.Source()
+		}
+		n.em.Emit(trace.Event{
+			At:      n.eng.Now(),
+			Kind:    trace.KindSourceSwitch,
+			Node:    node,
+			Link:    topology.NoLink,
+			Conn:    connID,
+			Channel: ch,
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"github.com/rtcl/bcp/internal/sched"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 	"github.com/rtcl/bcp/internal/wire"
 )
 
@@ -82,7 +83,9 @@ func (n *Network) declareLinkFailure(l topology.LinkID) {
 	n.declaredDown[l] = true
 	n.stats.Detections++
 	lk := n.mgr.Graph().Link(l)
-	n.trace(lk.To, "heartbeats lost on link %d (%d->%d): declaring failure", l, lk.From, lk.To)
+	if n.em.Enabled() {
+		n.emitComponent(trace.KindDetect, lk.To, l)
+	}
 	scheme := n.cfg.Scheme
 	for _, chID := range n.mgr.Network().ChannelsOnLink(l) {
 		if scheme == Scheme1 || scheme == Scheme3 {
@@ -114,7 +117,6 @@ func (d *daemon) handleLinkFailureNotify(c wireControl) {
 	if lk.From != d.id {
 		return // misrouted
 	}
-	n.trace(d.id, "notified of failure of link %d (%d->%d)", l, lk.From, lk.To)
 	scheme := n.cfg.Scheme
 	for _, chID := range append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsOnLink(l)...) {
 		if scheme == Scheme2 || scheme == Scheme3 {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 func heartbeatConfig() Config {
@@ -89,6 +90,55 @@ func TestHeartbeatUpstreamNotification(t *testing.T) {
 	tb.eng.RunFor(2 * time.Second)
 	if len(tb.net.SourceSwitches(tb.conn.ID)) != 1 {
 		t.Fatal("scheme 2 with heartbeat detection did not recover")
+	}
+}
+
+func TestHeartbeatNotificationLossRecoveredByRCC(t *testing.T) {
+	// The upstream notification path is not fire-and-forget: when the
+	// reverse link is down too, the downstream detector's MsgLinkFailure
+	// sits in the RCC send window and is retransmitted until the link
+	// heals. Scheme 2 recovery depends entirely on that notification, so
+	// this failure mode exercises the RCC's reliability end to end: crash
+	// BOTH directions of the primary's middle link, repair only the
+	// reverse direction later, and recovery must still happen — after the
+	// repair, driven by a retransmitted frame.
+	cfg := heartbeatConfig()
+	cfg.Scheme = Scheme2
+	rec := &trace.Recorder{}
+	cfg.Sink = rec
+	tb := newTestbed(t, cfg)
+	if err := tb.net.StartTraffic(tb.conn.ID, 1000); err != nil {
+		t.Fatal(err)
+	}
+	fwd := tb.g.LinkBetween(1, 2)
+	rev := tb.g.LinkBetween(2, 1)
+	failAt := sim.Time(100 * time.Millisecond)
+	repairAt := sim.Time(500 * time.Millisecond)
+	tb.eng.At(failAt, func() {
+		tb.net.FailLink(fwd)
+		tb.net.FailLink(rev)
+	})
+	tb.eng.At(repairAt, func() { tb.net.RepairLink(rev) })
+	tb.eng.RunFor(2 * time.Second)
+
+	switches := tb.net.SourceSwitches(tb.conn.ID)
+	if len(switches) != 1 {
+		t.Fatalf("switches = %v, want exactly 1", switches)
+	}
+	if switches[0] < repairAt {
+		t.Fatalf("source switched at %v, before the reverse link healed at %v",
+			time.Duration(switches[0]), time.Duration(repairAt))
+	}
+	// The notification got through because the RCC kept retransmitting it
+	// across the outage, not because anyone resent it at the protocol layer.
+	retx := 0
+	for _, ev := range rec.Events {
+		if ev.Kind == trace.KindRCCRetransmit && ev.Link == rev {
+			retx++
+		}
+	}
+	if retx == 0 {
+		t.Fatal("no RCC retransmissions on the downed reverse link")
 	}
 }
 

@@ -1,8 +1,11 @@
 package bcpd
 
 import (
+	"sort"
+
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 // FailLink crashes one simplex link: everything in flight is lost, and
@@ -16,6 +19,9 @@ func (n *Network) FailLink(l topology.LinkID) {
 	}
 	lr.down = true
 	lr.sl.SetDown(true)
+	if n.em.Enabled() {
+		n.emitComponent(trace.KindLinkDown, topology.NoNode, l)
+	}
 	if n.cfg.HeartbeatInterval > 0 {
 		return // detection happens via missing heartbeats
 	}
@@ -37,6 +43,9 @@ func (n *Network) RepairLink(l topology.LinkID) {
 	}
 	lr.down = false
 	lr.sl.SetDown(false)
+	if n.em.Enabled() {
+		n.emitComponent(trace.KindLinkUp, topology.NoNode, l)
+	}
 	if n.cfg.HeartbeatInterval > 0 {
 		n.heartbeatLastSeen[l] = n.eng.Now()
 		n.declaredDown[l] = false
@@ -55,14 +64,22 @@ func (n *Network) FailNode(v topology.NodeID) {
 		return
 	}
 	d.dead = true
+	if n.em.Enabled() {
+		n.emitComponent(trace.KindNodeDown, v, topology.NoLink)
+	}
 	g := n.mgr.Graph()
-	for _, l := range g.Out(v) {
+	downIncident := func(l topology.LinkID) {
+		if !n.links[l].down && n.em.Enabled() {
+			n.emitComponent(trace.KindLinkDown, topology.NoNode, l)
+		}
 		n.links[l].down = true
 		n.links[l].sl.SetDown(true)
 	}
+	for _, l := range g.Out(v) {
+		downIncident(l)
+	}
 	for _, l := range g.In(v) {
-		n.links[l].down = true
-		n.links[l].sl.SetDown(true)
+		downIncident(l)
 	}
 	if n.cfg.HeartbeatInterval > 0 {
 		return // neighbors notice the silence on every incident link
@@ -97,6 +114,20 @@ func (n *Network) RepairNode(v topology.NodeID) {
 	d := n.nodes[v]
 	if !d.dead {
 		return
+	}
+	if n.em.Enabled() {
+		// A rebooted daemon holds no soft state: record the wipe as explicit
+		// transitions to N (sorted for deterministic traces), then the
+		// repair itself.
+		wiped := make([]rtchan.ChannelID, 0, len(d.states))
+		for ch := range d.states {
+			wiped = append(wiped, ch)
+		}
+		sort.Slice(wiped, func(i, j int) bool { return wiped[i] < wiped[j] })
+		for _, ch := range wiped {
+			n.emitState(v, ch, d.states[ch], stateN)
+		}
+		n.emitComponent(trace.KindNodeUp, v, topology.NoLink)
 	}
 	n.nodes[v] = newDaemon(n, v)
 	g := n.mgr.Graph()

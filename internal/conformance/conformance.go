@@ -1,0 +1,308 @@
+// Package conformance checks a protocol event stream (internal/trace)
+// against the paper's invariants, turning any protocol-mode run into a
+// self-verifying fixture:
+//
+//   - State machine: every per-node channel transition is a legal edge of
+//     Figure 4, starting from N, and each event's From matches the state the
+//     stream itself established.
+//   - Claim balance: spare-bandwidth claims are never doubled, only released
+//     or converted while held, and none survive the run (unless the scenario
+//     legitimately ends mid-recovery).
+//   - Recovery delay: every recovery that completes (a source switch
+//     following a failure report for the connection's primary) does so
+//     within the §5 bound Γ ≤ (K−1)·D_max + 2(b−1)(K−1)·D_max, plus the
+//     configured detection allowance.
+//   - Healthy traversal: failure reports and activation messages are only
+//     delivered across links that are up (modulo in-flight propagation) and
+//     to nodes that are alive.
+//
+// The Checker is itself a trace.Sink, so it can run streaming during a
+// simulation (e.g. behind a trace.Tee) or replay a recorded stream via
+// Check.
+package conformance
+
+import (
+	"fmt"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
+)
+
+// Params tunes the checker to a run's timing model.
+type Params struct {
+	// DMax is the per-hop worst-case control delay D^RCC_max. Zero disables
+	// the Γ-bound rule (scenarios with congestion, preemption, or heartbeat
+	// detection have no closed-form bound).
+	DMax sim.Duration
+	// DetectionSlack is added to the Γ bound to cover the gap between a
+	// component crash and its neighbors' failure reports (DetectionLatency,
+	// or the heartbeat window when heartbeats detect).
+	DetectionSlack sim.Duration
+	// PropSlack tolerates control deliveries this long after a component
+	// went down: packets already in flight still arrive (one propagation
+	// delay plus any residual transmission).
+	PropSlack sim.Duration
+	// AllowOutstandingClaims skips the end-of-stream claim-balance rule for
+	// scenarios that legitimately end mid-recovery.
+	AllowOutstandingClaims bool
+}
+
+// Violation is one invariant breach.
+type Violation struct {
+	// Seq is the index of the offending event in the stream, or -1 for
+	// end-of-stream violations.
+	Seq int
+	// At is the simulated time of the offending event.
+	At sim.Time
+	// Rule names the invariant: "order", "state-machine", "claim", "gamma",
+	// or "traversal".
+	Rule string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("event %d at %v: %s: %s", v.Seq, v.At, v.Rule, v.Detail)
+}
+
+// legalEdges are the transitions of Figure 4 (with N as both the unborn and
+// the torn-down state): establishment (N→P, N→B), activation (B→P), failure
+// (P→U, B→U), rejoin (U→B), and teardown/closure from any live state.
+var legalEdges = [4][4]bool{
+	trace.StateN: {trace.StateP: true, trace.StateB: true},
+	trace.StateP: {trace.StateU: true, trace.StateN: true},
+	trace.StateB: {trace.StateP: true, trace.StateU: true, trace.StateN: true},
+	trace.StateU: {trace.StateB: true, trace.StateN: true},
+}
+
+type nodeChan struct {
+	node topology.NodeID
+	ch   rtchan.ChannelID
+}
+
+type linkChan struct {
+	link topology.LinkID
+	ch   rtchan.ChannelID
+}
+
+// connState tracks what the stream has established about one connection.
+type connState struct {
+	primary  rtchan.ChannelID
+	hops     map[rtchan.ChannelID]int // per channel, from install/replenish
+	backups  map[rtchan.ChannelID]bool
+	failed   map[rtchan.ChannelID]bool // backups lost since the last recovery
+	pending  bool
+	failAt   sim.Time
+	pendingB int // backups configured when the recovery began
+}
+
+// Checker consumes an event stream and accumulates violations. It is a
+// trace.Sink; call Finish after the run for the end-of-stream rules and the
+// collected violations.
+type Checker struct {
+	p          Params
+	seq        int
+	lastAt     sim.Time
+	nodeStates map[nodeChan]trace.State
+	claims     map[linkChan]bool
+	linkDown   map[topology.LinkID]sim.Time
+	nodeDown   map[topology.NodeID]sim.Time
+	conns      map[rtchan.ConnID]*connState
+	lastCrash  sim.Time
+	anyCrash   bool
+	violations []Violation
+}
+
+// New creates a checker for one event stream.
+func New(p Params) *Checker {
+	return &Checker{
+		p:          p,
+		nodeStates: make(map[nodeChan]trace.State),
+		claims:     make(map[linkChan]bool),
+		linkDown:   make(map[topology.LinkID]sim.Time),
+		nodeDown:   make(map[topology.NodeID]sim.Time),
+		conns:      make(map[rtchan.ConnID]*connState),
+	}
+}
+
+// Check replays a recorded stream through a fresh checker.
+func Check(events []trace.Event, p Params) []Violation {
+	c := New(p)
+	for _, ev := range events {
+		c.Emit(ev)
+	}
+	return c.Finish()
+}
+
+func (c *Checker) violate(ev trace.Event, rule, format string, args ...interface{}) {
+	c.violations = append(c.violations, Violation{
+		Seq:    c.seq,
+		At:     ev.At,
+		Rule:   rule,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *Checker) conn(id rtchan.ConnID) *connState {
+	cs := c.conns[id]
+	if cs == nil {
+		cs = &connState{
+			hops:    make(map[rtchan.ChannelID]int),
+			backups: make(map[rtchan.ChannelID]bool),
+			failed:  make(map[rtchan.ChannelID]bool),
+		}
+		c.conns[id] = cs
+	}
+	return cs
+}
+
+// Emit implements trace.Sink.
+func (c *Checker) Emit(ev trace.Event) {
+	if ev.At < c.lastAt {
+		c.violate(ev, "order", "timestamp %v before predecessor %v", ev.At, c.lastAt)
+	}
+	c.lastAt = ev.At
+
+	switch ev.Kind {
+	case trace.KindLinkDown:
+		c.linkDown[ev.Link] = ev.At
+		c.lastCrash, c.anyCrash = ev.At, true
+	case trace.KindLinkUp:
+		delete(c.linkDown, ev.Link)
+	case trace.KindNodeDown:
+		c.nodeDown[ev.Node] = ev.At
+		c.lastCrash, c.anyCrash = ev.At, true
+	case trace.KindNodeUp:
+		delete(c.nodeDown, ev.Node)
+
+	case trace.KindState:
+		key := nodeChan{ev.Node, ev.Channel}
+		cur := c.nodeStates[key] // StateN when absent
+		if ev.From != cur {
+			c.violate(ev, "state-machine",
+				"node %d channel %d: transition claims from %v but stream says %v",
+				ev.Node, ev.Channel, ev.From, cur)
+		}
+		if !legalEdges[ev.From][ev.To] {
+			c.violate(ev, "state-machine",
+				"node %d channel %d: illegal Figure-4 edge %v->%v",
+				ev.Node, ev.Channel, ev.From, ev.To)
+		}
+		if ev.To == trace.StateN {
+			delete(c.nodeStates, key)
+		} else {
+			c.nodeStates[key] = ev.To
+		}
+
+	case trace.KindClaim:
+		key := linkChan{ev.Link, ev.Channel}
+		if c.claims[key] {
+			c.violate(ev, "claim", "channel %d double-claims link %d", ev.Channel, ev.Link)
+		}
+		c.claims[key] = true
+	case trace.KindClaimRelease, trace.KindClaimConvert:
+		key := linkChan{ev.Link, ev.Channel}
+		if !c.claims[key] {
+			c.violate(ev, "claim", "%s on link %d for channel %d without a claim",
+				ev.Kind, ev.Link, ev.Channel)
+		}
+		delete(c.claims, key)
+
+	case trace.KindReportHop, trace.KindActivationHop:
+		if downAt, down := c.linkDown[ev.Link]; down && ev.At.Sub(downAt) > c.p.PropSlack {
+			c.violate(ev, "traversal", "%s across link %d, down since %v",
+				ev.Kind, ev.Link, downAt)
+		}
+		if _, down := c.nodeDown[ev.Node]; down {
+			c.violate(ev, "traversal", "%s delivered to dead node %d", ev.Kind, ev.Node)
+		}
+
+	case trace.KindInstall, trace.KindReplenish:
+		cs := c.conn(ev.Conn)
+		cs.hops[ev.Channel] = int(ev.Aux)
+		if ev.Kind == trace.KindInstall && ev.To == trace.StateP {
+			cs.primary = ev.Channel
+		} else {
+			cs.backups[ev.Channel] = true
+			delete(cs.failed, ev.Channel)
+		}
+
+	case trace.KindReportOriginate:
+		cs := c.conn(ev.Conn)
+		if ev.Channel == cs.primary {
+			if !cs.pending && c.anyCrash {
+				cs.pending = true
+				cs.failAt = c.lastCrash
+				cs.pendingB = len(cs.backups) + len(cs.failed)
+			}
+		} else if cs.backups[ev.Channel] {
+			delete(cs.backups, ev.Channel)
+			cs.failed[ev.Channel] = true
+		}
+
+	case trace.KindSourceSwitch:
+		cs := c.conn(ev.Conn)
+		if cs.pending && c.p.DMax > 0 {
+			gamma := ev.At.Sub(cs.failAt)
+			if bound, ok := c.gammaBound(cs); ok && gamma > bound {
+				c.violate(ev, "gamma",
+					"connection %d recovered in %v, bound %v (K-1=%d hops, b=%d backups)",
+					ev.Conn, gamma, bound, c.maxHops(cs)-1, cs.pendingB)
+			}
+		}
+		cs.pending = false
+		cs.primary = ev.Channel
+		delete(cs.backups, ev.Channel)
+		cs.failed = make(map[rtchan.ChannelID]bool)
+
+	case trace.KindTeardown:
+		delete(c.conns, ev.Conn)
+	}
+	c.seq++
+}
+
+// maxHops is the longest configured path among the connection's channels —
+// the conservative K−1 of the Γ bound.
+func (c *Checker) maxHops(cs *connState) int {
+	max := 0
+	for _, h := range cs.hops {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// gammaBound computes the §5 bound for a pending recovery. The second
+// result is false when the stream never told us a hop count.
+func (c *Checker) gammaBound(cs *connState) (sim.Duration, bool) {
+	hops := c.maxHops(cs)
+	if hops < 1 {
+		return 0, false
+	}
+	k := sim.Duration(hops - 1)
+	b := sim.Duration(cs.pendingB - 1)
+	if b < 0 {
+		b = 0
+	}
+	return c.p.DetectionSlack + k*c.p.DMax + 2*b*k*c.p.DMax, true
+}
+
+// Finish applies the end-of-stream rules and returns all violations (nil
+// when the stream conforms).
+func (c *Checker) Finish() []Violation {
+	if !c.p.AllowOutstandingClaims {
+		for key := range c.claims {
+			c.violations = append(c.violations, Violation{
+				Seq:  -1,
+				At:   c.lastAt,
+				Rule: "claim",
+				Detail: fmt.Sprintf("channel %d still holds a claim on link %d at end of run",
+					key.ch, key.link),
+			})
+		}
+	}
+	return c.violations
+}

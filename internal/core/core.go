@@ -26,6 +26,7 @@ import (
 	"github.com/rtcl/bcp/internal/routing"
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 // BackupRouting selects the algorithm used to route backup channels.
@@ -153,6 +154,12 @@ type Manager struct {
 	// per-goroutine TrialViews, which don't contend on it).
 	trialMu sync.Mutex
 	trial   trialScratch
+
+	// traceEm/traceClock emit protocol events from the claim paths when the
+	// message-level engine attaches a sink (SetProtocolTrace). The zero
+	// Emitter is disabled: one branch per claim call, no event construction.
+	traceEm    trace.Emitter
+	traceClock trace.Clock
 }
 
 // NewManager creates a BCP manager over an empty reservation network for g.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 // The methods in this file expose the resource plane to the message-level
@@ -15,6 +16,35 @@ import (
 // Claims are keyed by channel so that the bidirectional activation of
 // Scheme 3 — where the source-side and destination-side activation messages
 // can both try to claim the same link — stays idempotent.
+
+// SetProtocolTrace attaches a protocol-event sink to the resource plane's
+// claim paths (claim, release, convert, preempt, rejoin re-registration).
+// clock supplies timestamps — the protocol engine passes its *sim.Engine.
+// A nil sink disables emission; the residual cost is one branch per call.
+func (m *Manager) SetProtocolTrace(s trace.Sink, clock trace.Clock) {
+	defer m.beginWrite()()
+	m.traceEm = trace.NewEmitter(s)
+	m.traceClock = clock
+}
+
+// emitClaim records a claim-path event. Callers must hold the write lock
+// and have checked m.traceEm.Enabled(). The channel is resolved to its
+// connection so stream consumers can attribute claims without a side table.
+func (m *Manager) emitClaim(kind trace.Kind, l topology.LinkID, ch rtchan.ChannelID, aux int64) {
+	var conn rtchan.ConnID
+	if c := m.plan.net.Channel(ch); c != nil {
+		conn = c.Conn
+	}
+	m.traceEm.Emit(trace.Event{
+		At:      m.traceClock.Now(),
+		Kind:    kind,
+		Node:    topology.NoNode,
+		Link:    l,
+		Conn:    conn,
+		Channel: ch,
+		Aux:     aux,
+	})
+}
 
 // ClaimSpareFor claims bw of spare bandwidth on link l for backup channel
 // ch. It reports success; a repeated claim by the same channel is a no-op
@@ -37,6 +67,9 @@ func (m *Manager) claimSpareFor(l topology.LinkID, ch rtchan.ChannelID, bw float
 	}
 	lm.claims[ch] = bw
 	lm.claimed += bw
+	if m.traceEm.Enabled() {
+		m.emitClaim(trace.KindClaim, l, ch, 0)
+	}
 	return true
 }
 
@@ -92,6 +125,9 @@ func (m *Manager) PreemptClaim(l topology.LinkID, ch rtchan.ChannelID, alpha int
 	if !m.claimSpareFor(l, ch, bw) {
 		return 0, false // arithmetic raced; give up
 	}
+	if m.traceEm.Enabled() {
+		m.emitClaim(trace.KindPreempt, l, ch, int64(victim))
+	}
 	return victim, true
 }
 
@@ -107,6 +143,9 @@ func (m *Manager) releaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
 	if bw, ok := lm.claims[ch]; ok {
 		delete(lm.claims, ch)
 		lm.claimed -= bw
+		if m.traceEm.Enabled() {
+			m.emitClaim(trace.KindClaimRelease, l, ch, 0)
+		}
 	}
 }
 
@@ -140,6 +179,9 @@ func (m *Manager) ActivateClaimed(connID rtchan.ConnID, b *rtchan.Channel) error
 		lm := &m.plan.mux[l]
 		delete(lm.claims, b.ID)
 		lm.claimed -= bw
+		if m.traceEm.Enabled() {
+			m.emitClaim(trace.KindClaimConvert, l, b.ID, 0)
+		}
 	}
 	if err := m.promoteBackup(conn, b, touched); err != nil {
 		return err
@@ -212,5 +254,17 @@ func (m *Manager) RestoreAsBackup(connID rtchan.ConnID, ch rtchan.ChannelID, alp
 	}
 	conn.Backups = append(conn.Backups, c)
 	conn.Degrees = append(conn.Degrees, alpha)
+	if m.traceEm.Enabled() {
+		m.traceEm.Emit(trace.Event{
+			At:      m.traceClock.Now(),
+			Kind:    trace.KindInstall,
+			Node:    topology.NoNode,
+			Link:    topology.NoLink,
+			Conn:    connID,
+			Channel: ch,
+			To:      trace.StateB,
+			Aux:     int64(c.Path.Hops()),
+		})
+	}
 	return nil
 }

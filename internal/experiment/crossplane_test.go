@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/conformance"
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sim"
@@ -48,9 +49,20 @@ func TestProtocolMatchesTransactionalTrial(t *testing.T) {
 		cfg := bcpd.DefaultConfig()
 		cfg.DetectionLatency = 0
 		cfg.RejoinTimeout = sim.Duration(time.Hour) // no teardown during the check
+		// Conformance-check the full-workload run: no Γ bound (dozens of
+		// recoveries compete for control bandwidth, the single-connection
+		// bound does not apply), but the state machine, claim balance, and
+		// healthy-traversal rules must hold for every one of them.
+		chk := conformance.New(conformance.Params{
+			PropSlack: cfg.PropDelay + sim.Duration(time.Millisecond),
+		})
+		cfg.Sink = chk
 		net := bcpd.New(eng, mP, cfg)
 		eng.At(sim.Time(10*time.Millisecond), func() { net.FailLink(failLink) })
 		eng.RunFor(2 * time.Second)
+		for _, v := range chk.Finish() {
+			t.Errorf("link %d: conformance: %v", failLink, v)
+		}
 
 		recovered := 0
 		for _, id := range failedIDs {

@@ -214,6 +214,10 @@ func TestSection5AllWithinBound(t *testing.T) {
 	// Γ grows with the failure's distance from the source (single backup).
 	var prev Section5Row
 	for i, row := range res.Rows {
+		if len(row.Violations) != 0 {
+			t.Errorf("fail-pos %d (backups=%d): conformance violations %v",
+				row.FailPos, row.Backups, row.Violations)
+		}
 		if row.Backups != 1 {
 			continue
 		}
@@ -231,6 +235,10 @@ func TestSchemeComparisonShape(t *testing.T) {
 	res := RunSchemeComparison(DefaultOptions())
 	byScheme := map[int]map[int]SchemeRow{}
 	for _, r := range res.Rows {
+		if len(r.Violations) != 0 {
+			t.Errorf("scheme %d fail-pos %d: conformance violations %v",
+				r.Scheme, r.FailPos, r.Violations)
+		}
 		if byScheme[int(r.Scheme)] == nil {
 			byScheme[int(r.Scheme)] = map[int]SchemeRow{}
 		}

@@ -5,12 +5,14 @@ import (
 	"time"
 
 	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/conformance"
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/metrics"
 	"github.com/rtcl/bcp/internal/routing"
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 )
 
 // Section5Row is one failure-position measurement of the recovery-delay
@@ -23,6 +25,12 @@ type Section5Row struct {
 	Bound        sim.Duration // the paper's Γ bound for this configuration
 	DstDisrupt   sim.Duration // largest data-arrival gap at the destination
 	MessagesLost uint64       // data messages lost during the outage (Figure 8)
+
+	// Violations are protocol-conformance violations observed on the
+	// trial's event stream (empty on a sound run). The checker enforces the
+	// same Γ bound the Bound column reports, plus the Figure-4 state
+	// machine, claim balance, and healthy-traversal rules.
+	Violations []conformance.Violation
 }
 
 // Section5Result is the §5.3 recovery-delay bound validation.
@@ -107,6 +115,19 @@ func runSection5Trial(opts Options, cfg bcpd.Config, dmax sim.Duration, backups,
 	if err != nil {
 		panic("experiment: " + err.Error())
 	}
+	// Every trial is conformance-checked live: with dmax > 0 the checker
+	// re-derives the Γ bound the table reports and flags any recovery that
+	// exceeds it, independently of the SourceSwitches accounting below.
+	chk := conformance.New(conformance.Params{
+		DMax:           dmax,
+		DetectionSlack: cfg.DetectionLatency,
+		PropSlack:      cfg.PropDelay + sim.Duration(time.Millisecond),
+	})
+	if cfg.Sink != nil {
+		cfg.Sink = trace.Tee{cfg.Sink, chk}
+	} else {
+		cfg.Sink = chk
+	}
 	net := bcpd.New(eng, mgr, cfg)
 	const msgRate = 1000.0
 	if err := net.StartTraffic(conn.ID, msgRate); err != nil {
@@ -143,6 +164,7 @@ func runSection5Trial(opts Options, cfg bcpd.Config, dmax sim.Duration, backups,
 	}
 	row.DstDisrupt = net.MaxArrivalGap(conn.ID)
 	row.MessagesLost = net.Stats().DataSent - net.Stats().DataDelivered
+	row.Violations = chk.Finish()
 	return row
 }
 
@@ -182,6 +204,11 @@ type SchemeRow struct {
 	Gamma      sim.Duration // source recovery delay (data resumption)
 	DstDisrupt sim.Duration
 	Lost       uint64
+
+	// Violations from the conformance checker. The Γ rule is disabled here
+	// (the paper's bound is derived for scheme-3 timing), but the state
+	// machine, claim, and traversal rules apply to every scheme.
+	Violations []conformance.Violation
 }
 
 // SchemeComparisonResult compares the three channel-switching schemes of
@@ -207,6 +234,7 @@ func RunSchemeComparison(opts Options) SchemeComparisonResult {
 				Gamma:      row.Gamma,
 				DstDisrupt: row.DstDisrupt,
 				Lost:       row.MessagesLost,
+				Violations: row.Violations,
 			})
 		}
 	}

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
 	"github.com/rtcl/bcp/internal/wire"
 )
 
@@ -83,6 +85,12 @@ type Endpoint struct {
 
 	stopped bool
 	stats   Stats
+
+	// em reports frame/retransmission/ACK events when a sink is attached
+	// (SetTrace); emNode/emLink identify this endpoint in the stream.
+	em     trace.Emitter
+	emNode topology.NodeID
+	emLink topology.LinkID
 }
 
 type sentFrame struct {
@@ -111,6 +119,15 @@ func NewEndpoint(eng *sim.Engine, p Params, send func([]byte), recv func(wire.Co
 
 // Stats returns a snapshot of the endpoint counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
+
+// SetTrace attaches a protocol-event sink; node and link identify the
+// sending side of this endpoint in the event stream. A nil sink disables
+// emission (the default).
+func (e *Endpoint) SetTrace(s trace.Sink, node topology.NodeID, link topology.LinkID) {
+	e.em = trace.NewEmitter(s)
+	e.emNode = node
+	e.emLink = link
+}
 
 // Backlog returns the number of controls waiting to be framed plus those in
 // unacknowledged frames.
@@ -182,6 +199,9 @@ func (e *Endpoint) fire() {
 		f.Seq, f.Controls = sf.seq, sf.controls
 		e.retxDue = false
 		e.stats.Retransmissions++
+		if e.em.Enabled() {
+			e.emit(trace.KindRCCRetransmit, int64(f.Seq))
+		}
 	case len(e.outQ) > 0:
 		n := len(e.outQ)
 		if max := wire.MaxControlsForBudget(e.p.SMax); n > max {
@@ -193,8 +213,14 @@ func (e *Endpoint) fire() {
 		e.outQ = e.outQ[n:]
 		e.unacked = append(e.unacked, sentFrame{seq: f.Seq, controls: f.Controls})
 		e.stats.ControlsSent += uint64(len(f.Controls))
+		if e.em.Enabled() {
+			e.emit(trace.KindRCCFrame, int64(len(f.Controls)))
+		}
 	case e.ackPending:
 		e.stats.PureAcksSent++
+		if e.em.Enabled() {
+			e.emit(trace.KindRCCAck, int64(f.Ack))
+		}
 	default:
 		return
 	}
@@ -212,6 +238,17 @@ func (e *Endpoint) fire() {
 		e.armRetx()
 	}
 	e.pump()
+}
+
+// emit records one endpoint event; callers check e.em.Enabled() first.
+func (e *Endpoint) emit(kind trace.Kind, aux int64) {
+	e.em.Emit(trace.Event{
+		At:   e.eng.Now(),
+		Kind: kind,
+		Node: e.emNode,
+		Link: e.emLink,
+		Aux:  aux,
+	})
 }
 
 // armRetx (re)starts the retransmission timeout for the oldest
