@@ -142,6 +142,8 @@ type (
 	Engine = sim.Engine
 	// Time is a point in simulated time.
 	Time = sim.Time
+	// Timer is a handle to a scheduled event (cancelable, recyclable).
+	Timer = sim.Timer
 	// Protocol is the message-level BCP engine (daemons, RCCs, data).
 	Protocol = bcpd.Network
 	// ProtocolConfig parameterizes the protocol engine.
@@ -199,6 +201,15 @@ type (
 	TraceScenario = experiment.TraceScenario
 	// TraceRun is a TraceScenario's recorded outcome.
 	TraceRun = experiment.TraceRun
+	// ArenaSink is a fixed-capacity TraceSink that batches events through a
+	// preallocated arena (flush mode) or keeps the most recent window of
+	// them (flight-recorder mode).
+	ArenaSink = trace.ArenaSink
+	// Storm is the long-lived recovery-storm harness: repeated
+	// crash→switch→repair→rejoin cycles against one protocol network.
+	Storm = experiment.Storm
+	// StormConfig parameterizes NewStorm.
+	StormConfig = experiment.StormConfig
 )
 
 var (
@@ -216,6 +227,12 @@ var (
 	// scenario and return its event stream.
 	DefaultTraceScenario = experiment.DefaultTraceScenario
 	RunTraceScenario     = experiment.RunTraceScenario
+	// NewArenaSink builds a flush-mode arena sink; NewFlightRecorder builds
+	// a keep-latest ring over the same arena.
+	NewArenaSink      = trace.NewArenaSink
+	NewFlightRecorder = trace.NewFlightRecorder
+	// NewStorm builds the recovery-storm harness.
+	NewStorm = experiment.NewStorm
 )
 
 // --- Reliability mathematics --------------------------------------------

@@ -66,7 +66,7 @@ func (b *BruteForce) Trial(f core.Failure, order core.ActivationOrder, rng *rand
 		}
 		if primaryHit {
 			stats.FailedPrimaries++
-			degreeStats(&stats, conn).FailedPrimaries++
+			bumpDegree(&stats, conn, 1, 0)
 			needs = append(needs, conn)
 		}
 	}
@@ -77,7 +77,7 @@ func (b *BruteForce) Trial(f core.Failure, order core.ActivationOrder, rng *rand
 		switch b.tryActivate(conn, f, claimed) {
 		case outcomeActivated:
 			stats.FastRecovered++
-			degreeStats(&stats, conn).FastRecovered++
+			bumpDegree(&stats, conn, 0, 1)
 		case outcomeBackupsDead:
 			stats.BackupDead++
 		case outcomeExhausted:
@@ -148,20 +148,18 @@ func connAffected(conn *core.DConnection, f core.Failure) bool {
 	return f.NodeFailed(conn.Src) || f.NodeFailed(conn.Dst)
 }
 
-func degreeStats(stats *core.RecoveryStats, conn *core.DConnection) *core.DegreeStats {
+func bumpDegree(stats *core.RecoveryStats, conn *core.DConnection, failed, recovered int) {
 	alpha := 1 << 30
 	if len(conn.Degrees) > 0 {
 		alpha = conn.Degrees[0]
 	}
 	if stats.ByDegree == nil {
-		stats.ByDegree = make(map[int]*core.DegreeStats)
+		stats.ByDegree = make(map[int]core.DegreeStats)
 	}
 	d := stats.ByDegree[alpha]
-	if d == nil {
-		d = &core.DegreeStats{}
-		stats.ByDegree[alpha] = d
-	}
-	return d
+	d.FailedPrimaries += failed
+	d.FastRecovered += recovered
+	stats.ByDegree[alpha] = d
 }
 
 func sortConns(conns []*core.DConnection, order core.ActivationOrder, rng *rand.Rand) {

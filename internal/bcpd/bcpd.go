@@ -109,7 +109,8 @@ type Config struct {
 	Sink trace.Sink
 	// FrameTap, when non-nil, observes every marshaled RCC frame as it
 	// enters link's scheduler (before any loss). Used to harvest real
-	// frame encodings, e.g. as a fuzzing corpus.
+	// frame encodings, e.g. as a fuzzing corpus. The frame buffer is
+	// recycled after delivery — the tap must copy anything it retains.
 	FrameTap func(link topology.LinkID, frame []byte)
 }
 
@@ -163,7 +164,64 @@ type Network struct {
 	// event emission at the cost of one branch per site.
 	em trace.Emitter
 
+	// Recycled per-recovery scratch. framePool recycles marshaled RCC
+	// frame buffers across every endpoint (Get at marshal, Put after
+	// HandleFrame in deliver; frames dropped in flight leak to the GC and
+	// are never double-freed). frameBoxFree and dataFree recycle the
+	// pointer boxes that carry payloads through the scheduler without
+	// re-boxing an interface per packet. chanListFree recycles the
+	// affected-channel fan-out lists built when a component fails.
+	framePool    *rcc.BufferPool
+	frameBoxFree []*rccFrame
+	dataFree     []*dataPayload
+	chanListFree [][]rtchan.ChannelID
+
 	stats Stats
+}
+
+// getFrameBox returns a recycled frame box.
+func (n *Network) getFrameBox() *rccFrame {
+	if k := len(n.frameBoxFree); k > 0 {
+		b := n.frameBoxFree[k-1]
+		n.frameBoxFree[k-1] = nil
+		n.frameBoxFree = n.frameBoxFree[:k-1]
+		return b
+	}
+	return &rccFrame{}
+}
+
+// getDataBox returns a recycled data-payload box.
+func (n *Network) getDataBox() *dataPayload {
+	if k := len(n.dataFree); k > 0 {
+		b := n.dataFree[k-1]
+		n.dataFree[k-1] = nil
+		n.dataFree = n.dataFree[:k-1]
+		return b
+	}
+	return &dataPayload{}
+}
+
+func (n *Network) putDataBox(p *dataPayload) {
+	*p = dataPayload{}
+	n.dataFree = append(n.dataFree, p)
+}
+
+// getChanList returns an empty recycled channel-ID list for failure
+// fan-out; callers return it with putChanList once the reports are out.
+func (n *Network) getChanList() []rtchan.ChannelID {
+	if k := len(n.chanListFree); k > 0 {
+		b := n.chanListFree[k-1]
+		n.chanListFree[k-1] = nil
+		n.chanListFree = n.chanListFree[:k-1]
+		return b
+	}
+	return nil
+}
+
+func (n *Network) putChanList(b []rtchan.ChannelID) {
+	if cap(b) > 0 {
+		n.chanListFree = append(n.chanListFree, b[:0])
+	}
 }
 
 // Stats aggregates network-wide protocol counters.
@@ -206,7 +264,8 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 		heartbeatLastSeen: make(map[topology.LinkID]sim.Time),
 		declaredDown:      make(map[topology.LinkID]bool),
 
-		em: trace.NewEmitter(cfg.Sink),
+		em:        trace.NewEmitter(cfg.Sink),
+		framePool: &rcc.BufferPool{},
 	}
 	// The resource plane shares the sink so claim-path events (claim,
 	// release, convert, preempt, rejoin re-registration) interleave with the
@@ -225,7 +284,9 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 		// traversed the reverse link, delivering their controls to l.From.
 		rev := g.Reverse(l.ID)
 		send := func(frame []byte) {
-			lr.sl.Enqueue(sched.Packet{Class: sched.ClassControl, Size: len(frame), Payload: rccPayload(frame)})
+			box := n.getFrameBox()
+			box.data = frame
+			lr.sl.Enqueue(sched.Packet{Class: sched.ClassControl, Size: len(frame), Payload: box})
 		}
 		if tap := cfg.FrameTap; tap != nil {
 			inner := send
@@ -249,6 +310,7 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 			},
 		)
 		lr.rccE.SetTrace(cfg.Sink, l.From, l.ID)
+		lr.rccE.SetBufferPool(n.framePool)
 		n.links[l.ID] = lr
 	}
 	// Install channel state for everything already established.
@@ -461,16 +523,20 @@ func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
 // deliver dispatches a packet arriving at the far end of link l.
 func (n *Network) deliver(l topology.Link, p sched.Packet) {
 	switch pl := p.Payload.(type) {
-	case rccPayload:
+	case *rccFrame:
 		// Control frames are handled by the receiving daemon's endpoint for
 		// the reverse direction (the endpoint pairs A->B sending with B->A
 		// reception).
 		rev := n.mgr.Graph().Reverse(l.ID)
-		if rev == topology.NoLink {
-			return
+		if rev != topology.NoLink {
+			n.links[rev].rccE.HandleFrame(pl.data)
 		}
-		n.links[rev].rccE.HandleFrame([]byte(pl))
-	case dataPayload:
+		// The frame is consumed: recycle its buffer and box. (HandleFrame
+		// decodes into its own scratch and retains nothing.)
+		n.framePool.Put(pl.data)
+		pl.data = nil
+		n.frameBoxFree = append(n.frameBoxFree, pl)
+	case *dataPayload:
 		n.nodes[l.To].handleData(pl)
 	case heartbeatPayload:
 		n.heartbeatLastSeen[pl.link] = n.eng.Now()
@@ -491,8 +557,13 @@ func (n *Network) submitControl(l topology.LinkID, c wireControl) {
 	n.links[l].rccE.Submit(c)
 }
 
-// rccPayload and dataPayload type-tag scheduler payloads.
-type rccPayload []byte
+// rccFrame and dataPayload type-tag scheduler payloads. Both travel as
+// pointers so enqueueing does not box a fresh interface value per packet;
+// the Network recycles the boxes after delivery. A box dropped with its
+// packet (down link, queue overflow) simply leaves the pool.
+type rccFrame struct {
+	data []byte
+}
 
 type dataPayload struct {
 	conn rtchan.ConnID

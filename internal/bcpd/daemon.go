@@ -42,7 +42,7 @@ type daemon struct {
 	dead bool
 
 	states       map[rtchan.ChannelID]chanState
-	rejoinTimers map[rtchan.ChannelID]*sim.Timer
+	rejoinTimers map[rtchan.ChannelID]sim.Timer
 	// knownFailedBackups lets an end node skip backups it has received
 	// failure reports for when selecting a serial to activate.
 	knownFailedBackups map[rtchan.ChannelID]bool
@@ -53,7 +53,7 @@ func newDaemon(n *Network, id topology.NodeID) *daemon {
 		net:                n,
 		id:                 id,
 		states:             make(map[rtchan.ChannelID]chanState),
-		rejoinTimers:       make(map[rtchan.ChannelID]*sim.Timer),
+		rejoinTimers:       make(map[rtchan.ChannelID]sim.Timer),
 		knownFailedBackups: make(map[rtchan.ChannelID]bool),
 	}
 }
@@ -557,6 +557,11 @@ func (d *daemon) completeRejoin(ch *rtchan.Channel) {
 		return
 	}
 	d.knownFailedBackups[ch.ID] = false
+	// The channel is a backup again: a future activation of it is a new
+	// episode, so the promote-once guard must rearm. (Without this, a
+	// channel that has been promoted once can never be promoted again —
+	// visible under repeated fail/repair cycles.)
+	delete(d.net.activated, ch.ID)
 }
 
 func (d *daemon) abandonRejoin(ch *rtchan.Channel) {
@@ -585,7 +590,7 @@ func (d *daemon) handleClosure(c wireControl) {
 }
 
 func (d *daemon) stopRejoinTimer(chID rtchan.ChannelID) {
-	if t := d.rejoinTimers[chID]; t != nil {
+	if t, ok := d.rejoinTimers[chID]; ok {
 		t.Stop()
 		delete(d.rejoinTimers, chID)
 	}

@@ -20,6 +20,7 @@ type source struct {
 	active  rtchan.ChannelID
 	seq     uint64
 	stopped bool
+	emitFn  func() // emitLoop, bound once so rescheduling does not allocate
 
 	// switchedAt records every primary switch at the source — the moment
 	// data transfer resumes after a failure (the paper's recovery instant
@@ -52,6 +53,7 @@ func (n *Network) StartTraffic(connID rtchan.ConnID, rate float64) error {
 		return fmt.Errorf("bcpd: traffic already started on %d", connID)
 	}
 	s := &source{net: n, conn: connID, rate: rate, active: conn.Primary.ID}
+	s.emitFn = s.emitLoop
 	n.sources[connID] = s
 	n.sinks[connID] = &sink{}
 	s.emitLoop()
@@ -71,7 +73,7 @@ func (s *source) emitLoop() {
 	}
 	s.emit()
 	interval := sim.Duration(float64(time.Second) / s.rate)
-	s.net.eng.Schedule(interval, s.emitLoop)
+	s.net.eng.Schedule(interval, s.emitFn)
 }
 
 func (s *source) emit() {
@@ -87,17 +89,20 @@ func (s *source) emit() {
 	}
 	s.seq++
 	n.stats.DataSent++
-	pkt := dataPayload{conn: s.conn, ch: s.active, seq: s.seq, sent: n.eng.Now()}
+	pkt := n.getDataBox()
+	*pkt = dataPayload{conn: s.conn, ch: s.active, seq: s.seq, sent: n.eng.Now()}
 	// The source forwards onto the first link of the active channel.
 	l := ch.Path.Links()[0]
 	n.links[l].sl.Enqueue(sched.Packet{Class: sched.ClassRealTime, Size: n.cfg.DataMsgSize, Payload: pkt})
 }
 
-// handleData forwards (or sinks) a data message arriving at this node.
-func (d *daemon) handleData(p dataPayload) {
+// handleData forwards (or sinks) a data message arriving at this node. The
+// payload box is recycled on every terminal path; forwarding passes it on.
+func (d *daemon) handleData(p *dataPayload) {
 	n := d.net
 	if d.dead {
 		n.stats.DataDropped++
+		n.putDataBox(p)
 		return
 	}
 	ch := d.channel(p.ch)
@@ -105,12 +110,14 @@ func (d *daemon) handleData(p dataPayload) {
 		// Data on a channel this node has not activated (or that failed)
 		// is discarded with no harm (§4.2 footnote).
 		n.stats.DataDropped++
+		n.putDataBox(p)
 		return
 	}
 	if d.id == ch.Path.Destination() {
 		sk := n.sinks[p.conn]
 		if sk == nil {
 			n.stats.DataDropped++
+			n.putDataBox(p)
 			return
 		}
 		n.stats.DataDelivered++
@@ -120,11 +127,13 @@ func (d *daemon) handleData(p dataPayload) {
 			sk.reordered++
 		}
 		sk.lastSeq = p.seq
+		n.putDataBox(p)
 		return
 	}
 	idx := ch.Path.IndexOfNode(d.id)
 	if idx < 0 {
 		n.stats.DataDropped++
+		n.putDataBox(p)
 		return
 	}
 	l := ch.Path.Links()[idx]

@@ -1,7 +1,6 @@
 package bcpd
 
 import (
-	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/sched"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
@@ -43,22 +42,29 @@ func (n *Network) startHeartbeats() {
 	}
 }
 
-// emitHeartbeat sends one heartbeat over link l and reschedules itself.
-// A dead daemon stops emitting — that is the detection signal.
+// emitHeartbeat starts link l's heartbeat loop: the packet payload is
+// boxed once and the rescheduling closure is built once, so each beat
+// costs only the enqueue. A dead daemon stops emitting — that is the
+// detection signal.
 func (n *Network) emitHeartbeat(l topology.LinkID) {
 	lk := n.mgr.Graph().Link(l)
-	if !n.nodes[lk.From].dead {
-		n.links[l].sl.Enqueue(sched.Packet{
-			Class:   sched.ClassControl,
-			Size:    heartbeatSize,
-			Payload: heartbeatPayload{link: l},
-		})
+	payload := any(heartbeatPayload{link: l})
+	var tick func()
+	tick = func() {
+		if !n.nodes[lk.From].dead {
+			n.links[l].sl.Enqueue(sched.Packet{
+				Class:   sched.ClassControl,
+				Size:    heartbeatSize,
+				Payload: payload,
+			})
+		}
+		n.eng.Schedule(n.cfg.HeartbeatInterval, tick)
 	}
-	n.eng.Schedule(n.cfg.HeartbeatInterval, func() { n.emitHeartbeat(l) })
+	tick()
 }
 
-// monitorHeartbeats checks link l's liveness at the receiving node and
-// reschedules itself.
+// monitorHeartbeats starts the liveness check loop for link l at its
+// receiving node; like the emitter, the check closure is built once.
 func (n *Network) monitorHeartbeats(l topology.LinkID) {
 	lk := n.mgr.Graph().Link(l)
 	miss := n.cfg.HeartbeatMiss
@@ -66,12 +72,13 @@ func (n *Network) monitorHeartbeats(l topology.LinkID) {
 		miss = 3
 	}
 	deadline := sim.Duration(miss+1) * n.cfg.HeartbeatInterval
-	check := func() {
+	var check func()
+	check = func() {
 		to := n.nodes[lk.To]
 		if !to.dead && !n.declaredDown[l] && n.eng.Now().Sub(n.heartbeatLastSeen[l]) > deadline {
 			n.declareLinkFailure(l)
 		}
-		n.monitorHeartbeats(l)
+		n.eng.Schedule(n.cfg.HeartbeatInterval, check)
 	}
 	n.eng.Schedule(n.cfg.HeartbeatInterval, check)
 }
@@ -118,9 +125,13 @@ func (d *daemon) handleLinkFailureNotify(c wireControl) {
 		return // misrouted
 	}
 	scheme := n.cfg.Scheme
-	for _, chID := range append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsOnLink(l)...) {
+	// Copy the fan-out set through recycled scratch: originating reports
+	// mutates the channels-on-link index under us.
+	affected := append(n.getChanList(), n.mgr.Network().ChannelsOnLink(l)...)
+	for _, chID := range affected {
 		if scheme == Scheme2 || scheme == Scheme3 {
 			d.originateFailureReport(chID, -1)
 		}
 	}
+	n.putChanList(affected)
 }

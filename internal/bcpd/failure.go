@@ -1,7 +1,7 @@
 package bcpd
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/topology"
@@ -26,11 +26,12 @@ func (n *Network) FailLink(l topology.LinkID) {
 		return // detection happens via missing heartbeats
 	}
 	lk := n.mgr.Graph().Link(l)
-	affected := append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsOnLink(l)...)
+	affected := append(n.getChanList(), n.mgr.Network().ChannelsOnLink(l)...)
 	n.eng.Schedule(n.cfg.DetectionLatency, func() {
 		for _, chID := range affected {
 			n.reportComponentFailure(chID, lk.From, lk.To)
 		}
+		n.putChanList(affected)
 	})
 }
 
@@ -84,8 +85,9 @@ func (n *Network) FailNode(v topology.NodeID) {
 	if n.cfg.HeartbeatInterval > 0 {
 		return // neighbors notice the silence on every incident link
 	}
-	affected := append([]rtchan.ChannelID(nil), n.mgr.Network().ChannelsAtNode(v)...)
+	affected := append(n.getChanList(), n.mgr.Network().ChannelsAtNode(v)...)
 	n.eng.Schedule(n.cfg.DetectionLatency, func() {
+		defer n.putChanList(affected)
 		for _, chID := range affected {
 			ch := n.mgr.Network().Channel(chID)
 			if ch == nil {
@@ -123,7 +125,7 @@ func (n *Network) RepairNode(v topology.NodeID) {
 		for ch := range d.states {
 			wiped = append(wiped, ch)
 		}
-		sort.Slice(wiped, func(i, j int) bool { return wiped[i] < wiped[j] })
+		slices.Sort(wiped)
 		for _, ch := range wiped {
 			n.emitState(v, ch, d.states[ch], stateN)
 		}

@@ -85,7 +85,7 @@ func (p *NetworkPlan) trial(f Failure, order ActivationOrder, rng *rand.Rand, t 
 		stats.FailedBackups += int(t.connBkup[connID])
 		if t.connPrim[connID] {
 			stats.FailedPrimaries++
-			stats.degree(firstDegree(conn)).FailedPrimaries++
+			t.addDegree(firstDegree(conn), 1, 0)
 			needsRecovery = append(needsRecovery, conn)
 		}
 	}
@@ -96,7 +96,7 @@ func (p *NetworkPlan) trial(f Failure, order ActivationOrder, rng *rand.Rand, t 
 		switch outcome {
 		case activated:
 			stats.FastRecovered++
-			stats.degree(firstDegree(conn)).FastRecovered++
+			t.addDegree(firstDegree(conn), 0, 1)
 		case allBackupsDead:
 			stats.BackupDead++
 		case spareExhausted:
@@ -104,6 +104,7 @@ func (p *NetworkPlan) trial(f Failure, order ActivationOrder, rng *rand.Rand, t 
 		}
 	}
 	t.needs = needsRecovery[:0]
+	stats.ByDegree = t.degreeMap()
 	return stats
 }
 

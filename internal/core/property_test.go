@@ -152,7 +152,7 @@ func TestPropertyMuxOneSingleFailureGuarantee(t *testing.T) {
 			}
 			// The workload mixes in zero-backup connections, which cannot
 			// recover; every *backed-up* (degree 1) connection must.
-			if d := stats.ByDegree[1]; d != nil && d.FastRecovered != d.FailedPrimaries {
+			if d, ok := stats.ByDegree[1]; ok && d.FastRecovered != d.FailedPrimaries {
 				t.Fatalf("seed %d trial %d: mux=1 class recovered %d of %d",
 					seed, trial, d.FastRecovered, d.FailedPrimaries)
 			}

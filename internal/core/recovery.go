@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/topology"
@@ -210,7 +210,7 @@ func (f Failure) Links() []topology.LinkID {
 	for l := range f.links {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -225,7 +225,7 @@ func (f Failure) Nodes() []topology.NodeID {
 	for n := range f.nodes {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -302,8 +302,10 @@ type RecoveryStats struct {
 	// disabled by the failure, whether or not their primary failed.
 	FailedBackups int
 	// ByDegree breaks FailedPrimaries/FastRecovered down by the
-	// connection's first-backup multiplexing degree (Table 2).
-	ByDegree map[int]*DegreeStats
+	// connection's first-backup multiplexing degree (Table 2). Entries are
+	// values, not pointers: a trial populates the map without per-class
+	// heap allocations, and snapshots compare with ==.
+	ByDegree map[int]DegreeStats
 }
 
 // RFast returns the paper's fast-recovery ratio.
@@ -314,16 +316,15 @@ func (s RecoveryStats) RFast() float64 {
 	return float64(s.FastRecovered) / float64(s.FailedPrimaries)
 }
 
-func (s *RecoveryStats) degree(alpha int) *DegreeStats {
+// addDegree accumulates into the alpha class's breakdown.
+func (s *RecoveryStats) addDegree(alpha, failed, recovered int) {
 	if s.ByDegree == nil {
-		s.ByDegree = make(map[int]*DegreeStats)
+		s.ByDegree = make(map[int]DegreeStats)
 	}
 	d := s.ByDegree[alpha]
-	if d == nil {
-		d = &DegreeStats{}
-		s.ByDegree[alpha] = d
-	}
-	return d
+	d.FailedPrimaries += failed
+	d.FastRecovered += recovered
+	s.ByDegree[alpha] = d
 }
 
 // affectedConnections groups the channels hit by f by connection, using the
@@ -356,11 +357,11 @@ func (m *Manager) affectedConnections(f Failure) map[rtchan.ConnID][]*rtchan.Cha
 
 // orderedConns sorts the connections needing activation according to order.
 func orderedConns(conns []*DConnection, order ActivationOrder, rng *rand.Rand) []*DConnection {
-	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	slices.SortFunc(conns, func(a, b *DConnection) int { return int(a.ID) - int(b.ID) })
 	switch order {
 	case OrderByPriority:
-		sort.SliceStable(conns, func(i, j int) bool {
-			return firstDegree(conns[i]) < firstDegree(conns[j])
+		slices.SortStableFunc(conns, func(a, b *DConnection) int {
+			return firstDegree(a) - firstDegree(b)
 		})
 	case OrderRandom:
 		if rng != nil {
@@ -451,7 +452,7 @@ func (m *Manager) apply(f Failure, order ActivationOrder, rng *rand.Rand) (Recov
 		}
 		if p.primaryHit {
 			stats.FailedPrimaries++
-			stats.degree(firstDegree(conn)).FailedPrimaries++
+			stats.addDegree(firstDegree(conn), 1, 0)
 			needsRecovery = append(needsRecovery, conn)
 		}
 	}
@@ -464,7 +465,7 @@ func (m *Manager) apply(f Failure, order ActivationOrder, rng *rand.Rand) (Recov
 		switch outcome {
 		case activated:
 			stats.FastRecovered++
-			stats.degree(firstDegree(conn)).FastRecovered++
+			stats.addDegree(firstDegree(conn), 0, 1)
 			activatedBackups[conn.ID] = b
 		case allBackupsDead:
 			stats.BackupDead++
@@ -476,7 +477,7 @@ func (m *Manager) apply(f Failure, order ActivationOrder, rng *rand.Rand) (Recov
 	// Phase 2: reconfiguration — promote winners, tear down failed
 	// channels, resize spare pools. Plans were collected in map order;
 	// sort by connection so runs are reproducible.
-	sort.Slice(plans, func(i, j int) bool { return plans[i].conn.ID < plans[j].conn.ID })
+	slices.SortFunc(plans, func(a, b *plan) int { return int(a.conn.ID) - int(b.conn.ID) })
 	touched := make(map[topology.LinkID]struct{})
 	for _, p := range plans {
 		conn := p.conn

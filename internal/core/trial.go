@@ -25,6 +25,41 @@ type trialScratch struct {
 	needs    []*DConnection
 	claimGen []uint32  // by LinkID
 	claimVal []float64 // by LinkID: bandwidth claimed this trial
+
+	// Per-degree accumulation for RecoveryStats.ByDegree. A trial sees a
+	// handful of distinct degrees, so a linear-scan pair of slices beats a
+	// map in the per-connection hot path; the map is materialized once at
+	// the end of the trial.
+	degAlpha []int
+	degStat  []DegreeStats
+}
+
+// addDegree accumulates into the alpha class's per-trial breakdown.
+func (t *trialScratch) addDegree(alpha, failed, recovered int) {
+	for i, a := range t.degAlpha {
+		if a == alpha {
+			t.degStat[i].FailedPrimaries += failed
+			t.degStat[i].FastRecovered += recovered
+			return
+		}
+	}
+	t.degAlpha = append(t.degAlpha, alpha)
+	t.degStat = append(t.degStat, DegreeStats{FailedPrimaries: failed, FastRecovered: recovered})
+}
+
+// degreeMap builds the trial's ByDegree map (nil when no class was touched)
+// and resets the accumulator for the next trial.
+func (t *trialScratch) degreeMap() map[int]DegreeStats {
+	if len(t.degAlpha) == 0 {
+		return nil
+	}
+	m := make(map[int]DegreeStats, len(t.degAlpha))
+	for i, a := range t.degAlpha {
+		m[a] = t.degStat[i]
+	}
+	t.degAlpha = t.degAlpha[:0]
+	t.degStat = t.degStat[:0]
+	return m
 }
 
 // begin starts a new trial, invalidating all slots.
@@ -47,6 +82,8 @@ func (t *trialScratch) begin(numLinks int) {
 		t.claimVal = make([]float64, numLinks)
 	}
 	t.conns = t.conns[:0]
+	t.degAlpha = t.degAlpha[:0]
+	t.degStat = t.degStat[:0]
 }
 
 // markChan records channel id as affected, reporting whether it was new.

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
+)
+
+// Storm is a long-lived recovery-storm harness: one connection on the
+// paper's 8x8 torus whose primary channel is crashed, recovered onto the
+// backup, repaired, and rejoined — over and over, against the same protocol
+// network. After the first cycle every structure involved (timers, RCC
+// frames, report fan-out scratch, payload boxes) should be recycled, so a
+// cycle measures the steady-state cost of one full recovery, not the cost
+// of warming up allocators.
+//
+// Each cycle: crash one link of the current primary (rotating the position
+// so every hop gets exercised), run long enough for the failure reports to
+// activate and promote the backup, repair the link, then run until the
+// rejoin restores the old primary as the new backup. The roles ping-pong
+// between the two disjoint paths from cycle to cycle.
+type Storm struct {
+	Eng  *sim.Engine
+	Mgr  *core.Manager
+	Net  *bcpd.Network
+	Conn *core.DConnection
+
+	cycles int
+}
+
+// StormConfig parameterizes NewStorm. The zero value is usable.
+type StormConfig struct {
+	Scheme bcpd.Scheme // defaults to Scheme 3
+	Rate   float64     // data messages/second; 0 runs the control plane only
+	Seed   int64       // engine seed; same seed, same run
+	Sink   trace.Sink  // optional event sink
+}
+
+// Cycle phase lengths: the crash phase covers detection, reports, and
+// activation (all well under 200 ms on the torus); the repair phase covers
+// the rejoin probe retransmitting through the healed link and the rejoin
+// confirmation walking back (well under 800 ms).
+const (
+	stormCrashPhase  = sim.Duration(200 * time.Millisecond)
+	stormRepairPhase = sim.Duration(800 * time.Millisecond)
+)
+
+// NewStorm builds the network and establishes the connection: two disjoint
+// 0→36 paths on the torus, one primary and one degree-1 backup, matching
+// the trace scenario's layout.
+func NewStorm(cfg StormConfig) (*Storm, error) {
+	g := topology.NewTorus(8, 8, 200)
+	eng := sim.New(cfg.Seed)
+	mgr := core.NewManager(g, core.DefaultConfig())
+
+	src, dst := topology.NodeID(0), topology.NodeID(36)
+	paths := mgr.Router().SequentialDisjointPaths(src, dst, 2, routing.Constraint{})
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("experiment: only %d disjoint paths for storm", len(paths))
+	}
+	conn, err := mgr.EstablishOnPaths(rtchan.DefaultSpec(), paths[0], paths[1:2], []int{1})
+	if err != nil {
+		return nil, err
+	}
+
+	bcfg := bcpd.DefaultConfig()
+	if cfg.Scheme != 0 {
+		bcfg.Scheme = cfg.Scheme
+	}
+	bcfg.RejoinTimeout = sim.Duration(2 * time.Second)
+	bcfg.RejoinProbeDelay = sim.Duration(100 * time.Millisecond)
+	bcfg.Sink = cfg.Sink
+	net := bcpd.New(eng, mgr, bcfg)
+	if cfg.Rate > 0 {
+		if err := net.StartTraffic(conn.ID, cfg.Rate); err != nil {
+			return nil, err
+		}
+	}
+	return &Storm{Eng: eng, Mgr: mgr, Net: net, Conn: conn}, nil
+}
+
+// Cycle runs one crash→switch→repair→rejoin round and verifies it restored
+// full redundancy: the backup was promoted to primary and the crashed
+// channel rejoined as the new backup.
+func (s *Storm) Cycle() error {
+	prim := s.Conn.Primary
+	if prim == nil {
+		return fmt.Errorf("experiment: storm cycle %d: connection has no primary", s.cycles)
+	}
+	if len(s.Conn.Backups) == 0 {
+		return fmt.Errorf("experiment: storm cycle %d: connection has no backup", s.cycles)
+	}
+	links := prim.Path.Links()
+	fail := links[s.cycles%len(links)]
+
+	s.Net.FailLink(fail)
+	s.Eng.RunFor(stormCrashPhase)
+	if s.Conn.Primary == prim {
+		return fmt.Errorf("experiment: storm cycle %d: backup was not promoted", s.cycles)
+	}
+	s.Net.RepairLink(fail)
+	s.Eng.RunFor(stormRepairPhase)
+	if len(s.Conn.Backups) == 0 {
+		return fmt.Errorf("experiment: storm cycle %d: rejoin did not restore the backup", s.cycles)
+	}
+	s.cycles++
+	return nil
+}
+
+// Run executes n cycles, stopping at the first failure.
+func (s *Storm) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Cycle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cycles returns the number of completed cycles.
+func (s *Storm) Cycles() int { return s.cycles }
+
+// Stats returns the protocol counters accumulated so far.
+func (s *Storm) Stats() bcpd.Stats { return s.Net.Stats() }

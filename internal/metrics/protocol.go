@@ -40,6 +40,14 @@ func (h *Histogram) Observe(v float64) {
 	h.N++
 }
 
+// Reset zeroes all counts, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.Sum, h.N = 0, 0
+}
+
 // Mean returns the average observation (0 for none).
 func (h *Histogram) Mean() float64 {
 	if h.N == 0 {
@@ -108,6 +116,26 @@ func (a *ProtocolAggregator) Emit(ev trace.Event) {
 			a.Recovery.Observe(time.Duration(ev.At.Sub(a.lastCrash)).Seconds())
 		}
 	}
+}
+
+// EmitBatch folds a batch of events, e.g. from a trace.ArenaSink flush
+// callback: NewArenaSink(cap, agg.EmitBatch) aggregates full-fidelity
+// traces through a fixed-size arena with no per-event allocation.
+func (a *ProtocolAggregator) EmitBatch(evs []trace.Event) {
+	for _, ev := range evs {
+		a.Emit(ev)
+	}
+}
+
+// Reset zeroes every counter and histogram so the aggregator can fold a
+// fresh run, keeping all allocations.
+func (a *ProtocolAggregator) Reset() {
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	a.Batch.Reset()
+	a.Recovery.Reset()
+	a.lastCrash, a.anyCrash = 0, false
 }
 
 // Count returns the number of events of kind k.

@@ -48,6 +48,45 @@ func DefaultParams() Params {
 	}
 }
 
+// BufferPool recycles marshaled frame buffers. It is a plain free list —
+// the simulated world is single-threaded, so no synchronization is needed.
+// A nil *BufferPool is valid and degrades to plain allocation, which keeps
+// standalone endpoints (tests, fuzzers) working unchanged.
+//
+// Ownership protocol: the endpoint Gets a buffer at marshal time and hands
+// it to the send callback; whoever ultimately consumes the frame (the
+// receiving daemon, after HandleFrame) Puts it back. A frame dropped in
+// flight simply leaks to the garbage collector — never Put a buffer twice.
+type BufferPool struct {
+	free [][]byte
+}
+
+// Get returns an empty buffer with at least sizeHint capacity when the pool
+// has one; otherwise it allocates.
+func (p *BufferPool) Get(sizeHint int) []byte {
+	if p != nil {
+		if n := len(p.free); n > 0 {
+			b := p.free[n-1]
+			p.free[n-1] = nil
+			p.free = p.free[:n-1]
+			if cap(b) >= sizeHint {
+				return b[:0]
+			}
+			// Too small for this frame: drop it and allocate fresh.
+		}
+	}
+	return make([]byte, 0, sizeHint)
+}
+
+// Put returns a buffer to the pool. Putting a zero-capacity buffer is a
+// no-op.
+func (p *BufferPool) Put(b []byte) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	p.free = append(p.free, b[:0])
+}
+
 // Stats counts endpoint activity.
 type Stats struct {
 	FramesSent      uint64
@@ -75,16 +114,29 @@ type Endpoint struct {
 	lastTx    sim.Time
 	everTx    bool
 	retxDue   bool
-	txTimer   *sim.Timer
-	retxTimer *sim.Timer
+	txTimer   sim.Timer
+	retxTimer sim.Timer
 
 	// Receiver state.
 	recvCum    uint32
 	ackPending bool
-	ackTimer   *sim.Timer
+	ackTimer   sim.Timer
 
 	stopped bool
 	stats   Stats
+
+	// Recycled scratch. pool (optional, shared across the network's
+	// endpoints) recycles marshaled frame buffers; ctlFree recycles the
+	// per-frame control batches held in unacked; rxCtls is the decode
+	// scratch reused across received frames. fireFn/retxFn/ackFn are the
+	// timer callbacks, built once at construction so re-arming a timer does
+	// not allocate a closure per event.
+	pool    *BufferPool
+	ctlFree [][]wire.Control
+	rxCtls  []wire.Control
+	fireFn  func()
+	retxFn  func()
+	ackFn   func()
 
 	// em reports frame/retransmission/ACK events when a sink is attached
 	// (SetTrace); emNode/emLink identify this endpoint in the stream.
@@ -114,8 +166,28 @@ func NewEndpoint(eng *sim.Engine, p Params, send func([]byte), recv func(wire.Co
 	if send == nil || recv == nil {
 		panic("rcc: nil callbacks")
 	}
-	return &Endpoint{eng: eng, p: p, send: send, recv: recv, nextSeq: 1}
+	e := &Endpoint{eng: eng, p: p, send: send, recv: recv, nextSeq: 1}
+	e.fireFn = e.fire
+	e.retxFn = func() {
+		if e.stopped || len(e.unacked) == 0 {
+			return
+		}
+		e.retxDue = true
+		e.pump()
+		e.armRetx()
+	}
+	e.ackFn = func() {
+		if e.ackPending {
+			e.pump()
+		}
+	}
+	return e
 }
+
+// SetBufferPool attaches a frame-buffer pool, typically shared by every
+// endpoint in a network. See BufferPool for the ownership protocol. A nil
+// pool (the default) means each frame gets a fresh buffer.
+func (e *Endpoint) SetBufferPool(p *BufferPool) { e.pool = p }
 
 // Stats returns a snapshot of the endpoint counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
@@ -182,7 +254,21 @@ func (e *Endpoint) pump() {
 			at = next
 		}
 	}
-	e.txTimer = e.eng.At(at, e.fire)
+	e.txTimer = e.eng.At(at, e.fireFn)
+}
+
+// getCtlBuf returns an empty control batch with room for n messages,
+// recycled from previously acknowledged frames when possible.
+func (e *Endpoint) getCtlBuf(n int) []wire.Control {
+	if k := len(e.ctlFree); k > 0 {
+		b := e.ctlFree[k-1]
+		e.ctlFree[k-1] = nil
+		e.ctlFree = e.ctlFree[:k-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]wire.Control, 0, n)
 }
 
 // fire sends exactly one frame: a retransmission of the oldest
@@ -209,8 +295,8 @@ func (e *Endpoint) fire() {
 		}
 		f.Seq = e.nextSeq
 		e.nextSeq++
-		f.Controls = append([]wire.Control(nil), e.outQ[:n]...)
-		e.outQ = e.outQ[n:]
+		f.Controls = append(e.getCtlBuf(n), e.outQ[:n]...)
+		e.outQ = append(e.outQ[:0], e.outQ[n:]...)
 		e.unacked = append(e.unacked, sentFrame{seq: f.Seq, controls: f.Controls})
 		e.stats.ControlsSent += uint64(len(f.Controls))
 		if e.em.Enabled() {
@@ -226,7 +312,7 @@ func (e *Endpoint) fire() {
 	}
 	e.ackPending = false
 	e.ackTimer.Stop()
-	data, err := f.Marshal()
+	data, err := f.MarshalAppend(e.pool.Get(f.Size()))
 	if err != nil {
 		panic("rcc: marshal: " + err.Error())
 	}
@@ -255,14 +341,7 @@ func (e *Endpoint) emit(kind trace.Kind, aux int64) {
 // unacknowledged frame.
 func (e *Endpoint) armRetx() {
 	e.retxTimer.Stop()
-	e.retxTimer = e.eng.Schedule(e.p.RetxTimeout, func() {
-		if e.stopped || len(e.unacked) == 0 {
-			return
-		}
-		e.retxDue = true
-		e.pump()
-		e.armRetx()
-	})
+	e.retxTimer = e.eng.Schedule(e.p.RetxTimeout, e.retxFn)
 }
 
 // HandleFrame processes a frame received from the underlying link: it
@@ -272,15 +351,34 @@ func (e *Endpoint) HandleFrame(data []byte) {
 	if e.stopped {
 		return
 	}
-	f, err := wire.Unmarshal(data)
+	f, err := wire.UnmarshalScratch(data, e.rxCtls)
 	if err != nil {
 		// A corrupted frame is dropped; retransmission recovers it.
 		return
 	}
+	if f.Controls != nil {
+		// Reclaim the decode scratch for the next frame; Controls stay
+		// valid through the delivery loop below because frame delivery is
+		// event-driven — no nested HandleFrame runs within this call.
+		e.rxCtls = f.Controls[:0]
+	}
 	e.stats.FramesReceived++
-	// ACK processing for our sender side.
-	for len(e.unacked) > 0 && e.unacked[0].seq <= f.Ack {
-		e.unacked = e.unacked[1:]
+	// ACK processing for our sender side: recycle the control batches of
+	// acknowledged frames and compact the window in place.
+	acked := 0
+	for acked < len(e.unacked) && e.unacked[acked].seq <= f.Ack {
+		if b := e.unacked[acked].controls; cap(b) > 0 {
+			e.ctlFree = append(e.ctlFree, b[:0])
+		}
+		e.unacked[acked].controls = nil
+		acked++
+	}
+	if acked > 0 {
+		n := copy(e.unacked, e.unacked[acked:])
+		for i := n; i < len(e.unacked); i++ {
+			e.unacked[i] = sentFrame{}
+		}
+		e.unacked = e.unacked[:n]
 	}
 	if len(e.unacked) == 0 {
 		e.retxTimer.Stop()
@@ -316,9 +414,5 @@ func (e *Endpoint) scheduleAck() {
 	if e.ackTimer.Active() {
 		return
 	}
-	e.ackTimer = e.eng.Schedule(e.p.AckDelay, func() {
-		if e.ackPending {
-			e.pump()
-		}
-	})
+	e.ackTimer = e.eng.Schedule(e.p.AckDelay, e.ackFn)
 }

@@ -59,19 +59,60 @@ type LinkStats struct {
 	BusyTime     sim.Duration
 }
 
+// classQueue is a FIFO with a head index: popping advances head instead of
+// reslicing away the backing array, and a drained queue resets to reuse its
+// capacity, so steady-state traffic enqueues without allocating.
+type classQueue struct {
+	q    []Packet
+	head int
+}
+
+func (cq *classQueue) len() int { return len(cq.q) - cq.head }
+
+func (cq *classQueue) push(p Packet) { cq.q = append(cq.q, p) }
+
+func (cq *classQueue) pop() Packet {
+	p := cq.q[cq.head]
+	cq.q[cq.head] = Packet{}
+	cq.head++
+	if cq.head == len(cq.q) {
+		cq.q = cq.q[:0]
+		cq.head = 0
+	}
+	return p
+}
+
+func (cq *classQueue) clear() {
+	for i := cq.head; i < len(cq.q); i++ {
+		cq.q[i] = Packet{}
+	}
+	cq.q = cq.q[:0]
+	cq.head = 0
+}
+
 // Link is one simplex link's transmitter: a serializing resource at a fixed
 // capacity with per-class FIFO queues and a propagation delay.
+//
+// The transmit loop runs on two closures built once at construction
+// (txDoneFn, deliverFn); the packet being serialized and those in
+// propagation live in cur and the flight queue rather than in per-event
+// closures, so a busy link schedules events without allocating.
 type Link struct {
 	eng     *sim.Engine
 	bps     float64 // capacity in bits/second
 	prop    sim.Duration
 	deliver func(Packet)
 
-	queues   [numClasses][]Packet
+	queues   [numClasses]classQueue
 	maxQueue int
 	busy     bool
 	down     bool
 	stats    LinkStats
+
+	cur       Packet     // packet currently being serialized
+	flight    classQueue // packets in propagation, in delivery order
+	txDoneFn  func()
+	deliverFn func()
 }
 
 // NewLink creates a transmitter. capacityMbps is the link bandwidth in
@@ -85,7 +126,25 @@ func NewLink(eng *sim.Engine, capacityMbps float64, prop sim.Duration, maxQueue 
 	if deliver == nil {
 		panic("sched: nil deliver")
 	}
-	return &Link{eng: eng, bps: capacityMbps * 1e6, prop: prop, maxQueue: maxQueue, deliver: deliver}
+	l := &Link{eng: eng, bps: capacityMbps * 1e6, prop: prop, maxQueue: maxQueue, deliver: deliver}
+	l.txDoneFn = func() {
+		if !l.down {
+			// The packet enters propagation. The propagation delay is fixed
+			// per link and transmissions serialize, so deliveries fire in
+			// flight-queue order.
+			l.flight.push(l.cur)
+			l.eng.Schedule(l.prop, l.deliverFn)
+		} else {
+			l.stats.DroppedDown++
+		}
+		l.startNext()
+	}
+	l.deliverFn = func() {
+		p := l.flight.pop()
+		l.stats.Delivered++
+		l.deliver(p)
+	}
+	return l
 }
 
 // Stats returns a snapshot of the link counters.
@@ -100,9 +159,12 @@ func (l *Link) Down() bool { return l.down }
 func (l *Link) SetDown(down bool) {
 	l.down = down
 	if down {
+		// Queued packets are lost; packets already in propagation (the
+		// flight queue) still arrive — they left the transmitter before the
+		// crash.
 		for c := range l.queues {
-			l.stats.DroppedDown += uint64(len(l.queues[c]))
-			l.queues[c] = nil
+			l.stats.DroppedDown += uint64(l.queues[c].len())
+			l.queues[c].clear()
 		}
 	}
 }
@@ -111,7 +173,7 @@ func (l *Link) SetDown(down bool) {
 func (l *Link) QueueLen() int {
 	n := 0
 	for c := range l.queues {
-		n += len(l.queues[c])
+		n += l.queues[c].len()
 	}
 	return n
 }
@@ -128,12 +190,12 @@ func (l *Link) Enqueue(p Packet) {
 		l.stats.DroppedDown++
 		return
 	}
-	if l.maxQueue > 0 && len(l.queues[p.Class]) >= l.maxQueue {
+	if l.maxQueue > 0 && l.queues[p.Class].len() >= l.maxQueue {
 		l.stats.DroppedQueue++
 		return
 	}
 	l.stats.Enqueued++
-	l.queues[p.Class] = append(l.queues[p.Class], p)
+	l.queues[p.Class].push(p)
 	if !l.busy {
 		l.startNext()
 	}
@@ -141,12 +203,10 @@ func (l *Link) Enqueue(p Packet) {
 
 // startNext dequeues the highest-priority packet and transmits it.
 func (l *Link) startNext() {
-	var p Packet
 	found := false
 	for c := Class(0); c < numClasses; c++ {
-		if len(l.queues[c]) > 0 {
-			p = l.queues[c][0]
-			l.queues[c] = l.queues[c][1:]
+		if l.queues[c].len() > 0 {
+			l.cur = l.queues[c].pop()
 			found = true
 			break
 		}
@@ -156,20 +216,9 @@ func (l *Link) startNext() {
 		return
 	}
 	l.busy = true
-	txTime := sim.Duration(float64(p.Size*8) / l.bps * float64(time.Second))
+	txTime := sim.Duration(float64(l.cur.Size*8) / l.bps * float64(time.Second))
 	l.stats.BusyTime += txTime
-	l.eng.Schedule(txTime, func() {
-		if !l.down {
-			pkt := p
-			l.eng.Schedule(l.prop, func() {
-				l.stats.Delivered++
-				l.deliver(pkt)
-			})
-		} else {
-			l.stats.DroppedDown++
-		}
-		l.startNext()
-	})
+	l.eng.Schedule(txTime, l.txDoneFn)
 }
 
 // TokenBucket is the RMTP traffic regulator: tokens accrue at Rate per

@@ -4,10 +4,16 @@
 //
 // Events scheduled at equal times fire in scheduling order (FIFO), so runs
 // are reproducible for a given seed.
+//
+// The event queue is an index-based 4-ary min-heap over a pooled,
+// generation-stamped timer arena: Schedule/At hand out value handles rather
+// than boxed pointers, cancellation removes the slot from the heap in
+// O(log n) via its stored heap position (no lazy-deletion garbage
+// accumulating in long rejoin-heavy runs), and freed slots are recycled
+// through a free list, so steady-state scheduling performs zero allocations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -32,63 +38,79 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// Timer is a handle to a scheduled event. A Timer may be stopped before it
-// fires; stopping a fired or already-stopped timer is a no-op.
+// Timer is a handle to a scheduled event: an arena slot index plus the
+// generation stamp the slot carried when the event was scheduled. The zero
+// Timer is inactive; handles are values and may be copied freely. A Timer
+// may be stopped before it fires; stopping a fired or already-stopped timer
+// is a no-op.
 type Timer struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	stopped bool
-	fired   bool
+	eng *Engine
+	idx int32
+	gen uint32
+	at  Time
 }
 
-// Stop cancels the timer. It reports whether the cancellation prevented the
-// event from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.fired || t.stopped {
+// timerSlot is one arena entry. gen is bumped every time the slot is
+// released (fire or stop), invalidating all outstanding handles to the
+// retired generation; prevFired records how that generation ended so a
+// just-retired handle can still answer Fired exactly.
+type timerSlot struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	gen       uint32
+	pos       int32 // index in Engine.heap; -1 when not queued
+	prevFired bool
+}
+
+// Stop cancels the timer, unlinking it from the event heap in O(log n). It
+// reports whether the cancellation prevented the event from firing.
+func (t Timer) Stop() bool {
+	if t.eng == nil {
 		return false
 	}
-	t.stopped = true
-	t.fn = nil
+	s := &t.eng.slots[t.idx]
+	if s.gen != t.gen {
+		return false // already fired or stopped
+	}
+	t.eng.removeAt(int(s.pos))
+	t.eng.release(t.idx, false)
 	return true
 }
 
-// Fired reports whether the timer's event has run.
-func (t *Timer) Fired() bool { return t != nil && t.fired }
+// Fired reports whether the timer's event has run. The answer is exact
+// while the timer is pending and until the engine reuses its arena slot a
+// second time; after that it reports the slot's most recently recorded
+// outcome (no protocol code holds handles that long — rejoin timers are
+// either stopped or queried before re-arming).
+func (t Timer) Fired() bool {
+	if t.eng == nil {
+		return false
+	}
+	s := &t.eng.slots[t.idx]
+	if s.gen == t.gen {
+		return false // still pending
+	}
+	return s.prevFired
+}
 
 // Active reports whether the timer is still pending: scheduled, not fired,
-// and not stopped. A nil timer is inactive.
-func (t *Timer) Active() bool { return t != nil && !t.fired && !t.stopped }
+// and not stopped. The zero Timer is inactive.
+func (t Timer) Active() bool {
+	return t.eng != nil && t.eng.slots[t.idx].gen == t.gen
+}
 
 // When returns the scheduled firing time.
-func (t *Timer) When() Time { return t.at }
-
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
-}
+func (t Timer) When() Time { return t.at }
 
 // Engine is the simulation executive. It is not safe for concurrent use:
 // the simulated world is single-threaded by design, which keeps protocol
 // traces reproducible.
 type Engine struct {
 	now       Time
-	events    eventHeap
+	slots     []timerSlot
+	free      []int32 // recycled arena slots
+	heap      []int32 // 4-ary min-heap of slot indices, ordered by (at, seq)
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
@@ -108,13 +130,13 @@ func (e *Engine) RNG() *rand.Rand { return e.rng }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled (including
-// stopped timers not yet reaped).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events currently scheduled. Stopped timers
+// leave the queue immediately, so the count is exact.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule runs fn after delay d. A negative delay panics: the simulated
 // world cannot rewrite its past.
-func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+func (e *Engine) Schedule(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -122,36 +144,133 @@ func (e *Engine) Schedule(d Duration, fn func()) *Timer {
 }
 
 // At runs fn at absolute time t (>= Now).
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, timerSlot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
 	e.seq++
-	heap.Push(&e.events, tm)
-	return tm
+	s.pos = int32(len(e.heap))
+	e.heap = append(e.heap, idx)
+	e.siftUp(int(s.pos))
+	return Timer{eng: e, idx: idx, gen: s.gen, at: t}
+}
+
+// release retires slot idx's current generation (recording how it ended)
+// and returns the slot to the free list.
+func (e *Engine) release(idx int32, fired bool) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.pos = -1
+	s.prevFired = fired
+	s.gen++
+	e.free = append(e.free, idx)
+}
+
+// less orders heap entries by firing time, then scheduling order (FIFO for
+// equal deadlines).
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores the heap property from position i toward the root,
+// keeping each slot's stored heap position current.
+func (e *Engine) siftUp(i int) {
+	item := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := e.heap[parent]
+		if !e.less(item, p) {
+			break
+		}
+		e.heap[i] = p
+		e.slots[p].pos = int32(i)
+		i = parent
+	}
+	e.heap[i] = item
+	e.slots[item].pos = int32(i)
+}
+
+// siftDown restores the heap property from position i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	item := e.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.heap[best], item) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.slots[e.heap[i]].pos = int32(i)
+		i = best
+	}
+	e.heap[i] = item
+	e.slots[item].pos = int32(i)
+}
+
+// removeAt unlinks the heap entry at position i in O(log n).
+func (e *Engine) removeAt(i int) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = last
+	e.slots[last].pos = int32(i)
+	// The moved entry may need to travel either direction.
+	e.siftDown(i)
+	e.siftUp(int(e.slots[last].pos))
 }
 
 // Step executes the next pending event, advancing the clock. It reports
 // whether an event was executed (false when the queue is empty).
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		tm := heap.Pop(&e.events).(*Timer)
-		if tm.stopped {
-			continue
-		}
-		e.now = tm.at
-		tm.fired = true
-		fn := tm.fn
-		tm.fn = nil
-		e.processed++
-		fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	idx := e.heap[0]
+	s := &e.slots[idx]
+	e.now = s.at
+	fn := s.fn
+	e.removeAt(0)
+	// Release before running fn: the event may reschedule into this slot,
+	// and any handle to the fired generation must already read as dead.
+	e.release(idx, true)
+	e.processed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -163,11 +282,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with firing times <= t, then advances the clock
 // to exactly t.
 func (e *Engine) RunUntil(t Time) {
-	for {
-		tm := e.peek()
-		if tm == nil || tm.at > t {
-			break
-		}
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -177,14 +292,3 @@ func (e *Engine) RunUntil(t Time) {
 
 // RunFor executes events for the next d of simulated time.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
-
-func (e *Engine) peek() *Timer {
-	for len(e.events) > 0 {
-		if e.events[0].stopped {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
-	}
-	return nil
-}

@@ -130,12 +130,17 @@ func MaxControlsForBudget(budget int) int {
 	return n
 }
 
-// Marshal encodes the frame.
+// Marshal encodes the frame into a fresh buffer.
 func (f Frame) Marshal() ([]byte, error) {
+	return f.MarshalAppend(make([]byte, 0, f.Size()))
+}
+
+// MarshalAppend encodes the frame, appending to b. Callers that recycle
+// frame buffers pass a pooled b[:0] to keep the encode path allocation-free.
+func (f Frame) MarshalAppend(b []byte) ([]byte, error) {
 	if len(f.Controls) > 0xFFFF {
 		return nil, fmt.Errorf("wire: too many controls: %d", len(f.Controls))
 	}
-	b := make([]byte, 0, f.Size())
 	b = binary.BigEndian.AppendUint32(b, f.Seq)
 	b = binary.BigEndian.AppendUint32(b, f.Ack)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(f.Controls)))
@@ -145,8 +150,17 @@ func (f Frame) Marshal() ([]byte, error) {
 	return b, nil
 }
 
-// Unmarshal decodes a frame, rejecting trailing garbage.
+// Unmarshal decodes a frame, rejecting trailing garbage. A pure-ACK frame
+// decodes with nil Controls.
 func Unmarshal(b []byte) (Frame, error) {
+	return UnmarshalScratch(b, nil)
+}
+
+// UnmarshalScratch decodes a frame like Unmarshal but appends the control
+// batch into scratch[:0], letting callers recycle one decode buffer across
+// frames. The returned Frame's Controls alias scratch; they are valid until
+// the next decode into the same scratch.
+func UnmarshalScratch(b []byte, scratch []Control) (Frame, error) {
 	if len(b) < frameHeaderSize {
 		return Frame{}, fmt.Errorf("wire: frame truncated: %d bytes", len(b))
 	}
@@ -156,6 +170,7 @@ func Unmarshal(b []byte) (Frame, error) {
 	}
 	count := int(binary.BigEndian.Uint16(b[8:10]))
 	rest := b[frameHeaderSize:]
+	ctls := scratch[:0]
 	for i := 0; i < count; i++ {
 		var c Control
 		var err error
@@ -163,10 +178,13 @@ func Unmarshal(b []byte) (Frame, error) {
 		if err != nil {
 			return Frame{}, fmt.Errorf("wire: control %d: %w", i, err)
 		}
-		f.Controls = append(f.Controls, c)
+		ctls = append(ctls, c)
 	}
 	if len(rest) != 0 {
 		return Frame{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	if count > 0 {
+		f.Controls = ctls
 	}
 	return f, nil
 }
