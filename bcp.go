@@ -79,6 +79,14 @@ type (
 	// network plan: create one per sweep worker with Manager.NewTrialView
 	// and call Trial concurrently.
 	TrialView = core.TrialView
+	// EstablishRequest is one establishment in a batch (the arguments of an
+	// Establish call).
+	EstablishRequest = core.EstablishRequest
+	// BatchOptions configures Manager.EstablishBatch.
+	BatchOptions = core.BatchOptions
+	// BatchResult reports a batch's per-request outcomes and pipeline
+	// statistics.
+	BatchResult = core.BatchResult
 )
 
 // DefaultSpec returns the paper's homogeneous traffic contract: 1 Mbps,
@@ -301,6 +309,9 @@ var (
 	Dynamic = workload.Dynamic
 	// EstablishWorkload applies a static workload to a manager.
 	EstablishWorkload = workload.Establish
+	// EstablishWorkloadBatch applies a static workload through the
+	// speculative batch pipeline — identical results, less wall time.
+	EstablishWorkloadBatch = workload.EstablishBatch
 	// RunChurn schedules a dynamic workload on an engine.
 	RunChurn = workload.RunChurn
 )
@@ -353,6 +364,10 @@ var (
 	// network plan (per-worker TrialViews); results are identical to
 	// Sweep for every worker count.
 	SweepParallel = experiment.SweepParallel
+	// EstablishAllPairsParallel establishes the paper's all-pairs workload
+	// through the speculative batch pipeline; state is bit-identical to the
+	// sequential walk (see RunScalability with Workers > 1).
+	EstablishAllPairsParallel = experiment.EstablishAllPairsParallel
 	// AllSingleLinkFailures enumerates one trial per simplex link.
 	AllSingleLinkFailures = experiment.AllSingleLinkFailures
 	// AllSingleNodeFailures enumerates one trial per node.

@@ -146,13 +146,51 @@ func runSmoke(seed int64) int {
 		}})
 	}
 
-	// FailureTrial: one recovery trial over the loaded 4032-connection plan.
+	// FailureTrial and SingleEstablish share one loaded 4032-connection plan
+	// (trials are pure reads; the establish check tears down what it adds).
 	{
 		mgr := loadedManager()
 		f := bcp.SingleNode(27)
 		checks = append(checks, check{name: "FailureTrial", ceiling: 4, runs: 10, fn: func() error {
 			if stats := mgr.Trial(f, bcp.OrderByConn, nil); stats.FailedPrimaries == 0 {
 				return fmt.Errorf("no failures")
+			}
+			return nil
+		}})
+
+		// SingleEstablish: one plan+commit establishment plus its teardown on
+		// the loaded plan. The plan phase runs on reusable arenas, so only the
+		// objects that outlive the call may allocate (measured 12).
+		checks = append(checks, check{name: "SingleEstablish", ceiling: 24, runs: 50, fn: func() error {
+			conn, err := mgr.Establish(0, 36, bcp.DefaultSpec(), []int{3})
+			if err != nil {
+				return err
+			}
+			return mgr.Teardown(conn.ID)
+		}})
+	}
+
+	// EstablishBatch: the pipelined establishment path end to end — a full
+	// 4x4-torus all-pairs batch at 4 planners, then its teardown. Guards the
+	// pooled plan buffers, planner contexts, and router leases: a leak shows
+	// up as per-request allocation growth across batches.
+	{
+		g := bcp.NewTorus(4, 4, 200)
+		mgr := bcp.NewManager(g, bcp.DefaultConfig())
+		wl := bcp.AllPairs(g, bcp.DefaultSpec(), []int{3})
+		reqs := make([]bcp.EstablishRequest, len(wl))
+		for i, r := range wl {
+			reqs[i] = bcp.EstablishRequest{Src: r.Src, Dst: r.Dst, Spec: r.Spec, Degrees: r.Degrees}
+		}
+		checks = append(checks, check{name: "EstablishBatch", ceiling: 7000, runs: 5, fn: func() error {
+			res := mgr.EstablishBatch(reqs, bcp.BatchOptions{Workers: 4})
+			if res.Established != len(reqs) {
+				return fmt.Errorf("established %d of %d", res.Established, len(reqs))
+			}
+			for _, c := range res.Conns {
+				if err := mgr.Teardown(c.ID); err != nil {
+					return err
+				}
 			}
 			return nil
 		}})
@@ -268,6 +306,37 @@ func main() {
 		}
 	}))
 	fmt.Fprintf(os.Stderr, "SingleEstablish done\n")
+
+	// EstablishBatch: the same 4032-pair workload as EstablishAllPairs through
+	// the speculative plan/commit pipeline (results bit-identical to the
+	// sequential loop) at increasing planner pool widths. On a multi-core box
+	// ns/op should shrink with workers (the read-only plan phase is ~80% of
+	// establishment); on a single core the pipeline can only add scheduling
+	// overhead, so compare the widths against each other, not just w1.
+	batchWidths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	if *workers > 1 {
+		batchWidths = append(batchWidths, *workers)
+	}
+	seenBatch := map[int]bool{}
+	for _, w := range batchWidths {
+		if w < 1 || seenBatch[w] {
+			continue
+		}
+		seenBatch[w] = true
+		w := w
+		results = append(results, measure(fmt.Sprintf("EstablishBatch-w%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := bcp.NewTorus(8, 8, 200)
+				batchMgr := bcp.NewManager(g, bcp.DefaultConfig())
+				est, _ := bcp.EstablishWorkloadBatch(batchMgr, bcp.AllPairs(g, bcp.DefaultSpec(), []int{3}), w)
+				if est != 4032 {
+					b.Fatalf("established %d", est)
+				}
+			}
+		}))
+	}
+	fmt.Fprintf(os.Stderr, "EstablishBatch done\n")
 
 	// Routing kernels: the Router's scratch-backed searches on the bare
 	// torus, without establishment state. RoutingAllPairs covers every

@@ -23,6 +23,8 @@
 //	-sample N   sample N double-node failures instead of all pairs
 //	-lambda F   per-component failure probability (default 1e-4)
 //	-seed N     seed for randomized orders/workloads
+//	-workers N  worker pool for sweeps and pipelined establishment
+//	            (0/1 serial, -1 = GOMAXPROCS); results are identical
 //	-json       emit results as JSON instead of paper-style tables
 package main
 
@@ -39,12 +41,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -help)")
-		sample = flag.Int("sample", 0, "double-node failure sample size (0 = exhaustive)")
-		lambda = flag.Float64("lambda", 1e-4, "per-component failure probability per time unit")
-		seed   = flag.Int64("seed", 1, "random seed")
-		order  = flag.String("order", "conn", "activation order: conn|priority|random")
-		asJSON = flag.Bool("json", false, "emit results as JSON")
+		exp     = flag.String("exp", "", "experiment id (see -help)")
+		sample  = flag.Int("sample", 0, "double-node failure sample size (0 = exhaustive)")
+		lambda  = flag.Float64("lambda", 1e-4, "per-component failure probability per time unit")
+		seed    = flag.Int64("seed", 1, "random seed")
+		order   = flag.String("order", "conn", "activation order: conn|priority|random")
+		workers = flag.Int("workers", 0, "worker pool for failure sweeps and pipelined establishment (0/1 = serial, -1 = GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -55,6 +58,7 @@ func main() {
 	opts.Lambda = *lambda
 	opts.DoubleNodeSample = *sample
 	opts.Seed = *seed
+	opts.Workers = *workers
 	switch *order {
 	case "conn":
 		opts.Order = core.OrderByConn

@@ -149,6 +149,21 @@ type Manager struct {
 	// points that interleave with Establish keep their own (see pr.go).
 	estExcl *routing.Exclusion
 
+	// estCtx is the writer-side planning context (wrapping m.router, estExcl,
+	// piMarks and muxDec) and seqPlan its reusable plan buffer: sequential
+	// Establish is plan+commit over these under the write lock, the same code
+	// path the EstablishBatch pipeline speculates over (see establish.go).
+	estCtx  *planContext
+	seqPlan *connPlan
+	// routers leases per-worker routing engines to batch planners; built
+	// lazily on the first EstablishBatch (routersOnce).
+	routers     *routing.RouterPool
+	routersOnce sync.Once
+	// pcPool recycles batch planner contexts (marks, memo, exclusion) and
+	// planPool the per-request plan buffers, across EstablishBatch calls.
+	pcPool   sync.Pool
+	planPool sync.Pool
+
 	// trial backs the Manager's own serial Trial entry point; trialMu keeps
 	// that entry point safe against itself (concurrent sweeps should prefer
 	// per-goroutine TrialViews, which don't contend on it).
@@ -179,6 +194,12 @@ func NewManager(g *topology.Graph, cfg Config) *Manager {
 		router:   routing.NewRouter(g),
 		estExcl:  routing.NewExclusion(),
 	}
+	// Pre-warm the (1-λ)^k table past any component sum two primaries can
+	// produce (each path has at most 2(N-1)+1 components), so read-side
+	// planners never need to grow it.
+	m.qpow(4 * g.NumNodes())
+	m.estCtx = newPlanContext(m, m.router, m.estExcl, &m.piMarks, &m.muxDec)
+	m.seqPlan = &connPlan{}
 	return m
 }
 

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rtcl/bcp/internal/reliability"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Establishment is split into a read-only *plan* phase and a mutating
+// *commit* phase. The plan phase routes the primary and every backup, runs
+// the delay and spare-pool admission tests, and records the exact wiring the
+// multiplexing engine would perform — without touching the plan. The commit
+// phase replays the record: no routing, no Π decisions, no admission scans.
+//
+// The split is sound because one establishment's own mutations never feed
+// back into its later decisions: the links a committed channel changes
+// (dedicated bandwidth on the primary's links, spare growth and Π membership
+// on each backup's links) are all excluded from every later search of the
+// same connection, and the per-link admission probes of distinct backups
+// touch disjoint links. So a plan computed against the unmutated state equals
+// what the sequential route-commit-route-commit loop would compute — which
+// is what makes the speculative EstablishBatch pipeline (batch.go) possible:
+// planners run under the reader lock against a frozen plan, and a plan
+// whose inputs did not change commits without any recomputation.
+// (EstablishOnPaths keeps the old incremental path: caller-supplied paths
+// need not be disjoint, so the argument above does not apply to it.)
+
+// planBits is a link-id bitset recording which links a plan's routing
+// predicate approved. Free bandwidth only shrinks during a batch, so an
+// approval is the only answer that can rot; the committer rechecks exactly
+// these links (batch.go) to decide whether a speculative plan is still the
+// one sequential establishment would produce.
+type planBits struct{ w []uint64 }
+
+func (b *planBits) reset(numLinks int) {
+	words := (numLinks + 63) / 64
+	if cap(b.w) < words {
+		b.w = make([]uint64, words)
+		return
+	}
+	b.w = b.w[:words]
+	clear(b.w)
+}
+
+func (b *planBits) set(i int) { b.w[i>>6] |= 1 << (uint(i) & 63) }
+
+// pathPlan is a path held as raw link/node sequences in reusable buffers; a
+// topology.Path is materialized only at commit time, once per admitted
+// channel.
+type pathPlan struct {
+	links []topology.LinkID
+	nodes []topology.NodeID
+}
+
+func (pp *pathPlan) set(g *topology.Graph, links []topology.LinkID) {
+	pp.links = append(pp.links[:0], links...)
+	n := len(links) + 1
+	if cap(pp.nodes) < n {
+		pp.nodes = make([]topology.NodeID, n)
+	} else {
+		pp.nodes = pp.nodes[:n]
+	}
+	pp.nodes[0] = g.Link(links[0]).From
+	for i, l := range links {
+		pp.nodes[i+1] = g.Link(l).To
+	}
+}
+
+// linkWire records the admission probe's outcome for one backup on one link:
+// which existing entries' Π sets gain the new backup (grow), which existing
+// channels the new backup's own Π set lists (pi), the new entry's spare
+// requirement, and the spare level the link must reach. Ranges index the
+// owning connPlan's flat arenas so reusing a plan never reallocates them.
+type linkWire struct {
+	link             topology.LinkID
+	growOff, growLen int32 // entry indexes in connPlan.growBuf
+	piOff, piLen     int32 // channel ids in connPlan.piBuf
+	req              float64
+	need             float64
+}
+
+// backupPlan is one planned backup channel: its path, degree, threshold, and
+// the per-link wiring record.
+type backupPlan struct {
+	path  pathPlan
+	alpha int
+	nu    float64
+	wires []linkWire
+}
+
+// connPlan is a complete establishment decision: either a rejection (err set,
+// nothing to commit — rejections mutate no state in either phase) or the
+// full wiring record for a new D-connection. Plans are reused: the Manager
+// keeps one for sequential establishment and pools them for batches.
+type connPlan struct {
+	src, dst topology.NodeID
+	spec     rtchan.TrafficSpec
+	degrees  []int
+	err      error
+
+	// seq is the batch state version the plan was computed against, and
+	// strict marks decisions outside the monotone staleness rules (explicit
+	// delay contracts, load-aware weights): a strict plan is only valid if
+	// nothing at all was committed since seq. stable marks rejections that
+	// depend on nothing but the request and the topology (src == dst, bad
+	// bandwidth, disconnected endpoints) and so never go stale. See batch.go.
+	seq       uint64
+	strict    bool
+	stable    bool
+	consulted planBits
+
+	prim     pathPlan
+	backups  []backupPlan
+	nBackups int
+
+	growBuf []int32
+	piBuf   []rtchan.ChannelID
+}
+
+// backupAt returns the i-th backup slot, growing the slice without discarding
+// the recycled buffers of previously used slots.
+func (p *connPlan) backupAt(i int) *backupPlan {
+	if i < len(p.backups) {
+		return &p.backups[i]
+	}
+	p.backups = append(p.backups, backupPlan{})
+	return &p.backups[i]
+}
+
+// planContext bundles the per-worker machinery a plan needs: a routing
+// engine, an exclusion set, a primary-path stamp, and a Π-decision memo.
+// The Manager's own context (estCtx) wraps its writer-side scratch; batch
+// planners lease pooled contexts so they never share mutable state.
+type planContext struct {
+	m      *Manager
+	router *routing.Router
+	excl   *routing.Exclusion
+	marks  *topology.PathMarks
+	dec    *muxDecisionScratch
+
+	// Per-plan state read by the persistent feasibility closure, so the hot
+	// routing constraint costs no allocation per establishment.
+	bw           float64
+	cur          *connPlan
+	track        bool
+	linkFeasible func(topology.LinkID) bool
+}
+
+func newPlanContext(m *Manager, r *routing.Router, excl *routing.Exclusion, marks *topology.PathMarks, dec *muxDecisionScratch) *planContext {
+	pc := &planContext{m: m, router: r, excl: excl, marks: marks, dec: dec}
+	pc.linkFeasible = func(l topology.LinkID) bool {
+		if pc.m.plan.net.Free(l) < pc.bw-1e-9 {
+			return false
+		}
+		if pc.track {
+			pc.cur.consulted.set(int(l))
+		}
+		return true
+	}
+	return pc
+}
+
+// plan computes the full establishment decision for one request into p,
+// read-only against the shared plan. Callers hold the manager's lock: the
+// write side for sequential establishment, the read side for batch planners
+// (every structure plan touches on the Manager is read-only or owned by pc).
+// track records approved links into p.consulted for later revalidation.
+func (pc *planContext) plan(p *connPlan, src, dst topology.NodeID, spec rtchan.TrafficSpec, degrees []int, track bool) {
+	m := pc.m
+	p.src, p.dst, p.spec = src, dst, spec
+	p.degrees = append(p.degrees[:0], degrees...)
+	p.err = nil
+	p.strict = false
+	p.stable = false
+	p.nBackups = 0
+	p.growBuf = p.growBuf[:0]
+	p.piBuf = p.piBuf[:0]
+	pc.cur = p
+	pc.bw = spec.Bandwidth
+	pc.track = track
+	g := m.plan.net.Graph()
+	if track {
+		p.consulted.reset(g.NumLinks())
+	}
+
+	if src == dst {
+		p.err = fmt.Errorf("core: src == dst (%d)", src)
+		p.stable = true
+		return
+	}
+	if spec.Bandwidth <= 0 {
+		p.err = fmt.Errorf("core: non-positive bandwidth")
+		p.stable = true
+		return
+	}
+	base := pc.router.Distance(src, dst)
+	if base < 0 {
+		p.err = fmt.Errorf("core: %d and %d are disconnected", src, dst)
+		p.stable = true
+		return
+	}
+
+	primaryMax := base + spec.SlackHops
+	c := routing.Constraint{MaxHops: primaryMax, TieBreak: m.plan.cfg.TieBreak, LinkAllowed: pc.linkFeasible}
+	links, ok := pc.router.ShortestLinks(src, dst, c)
+	if !ok {
+		p.err = fmt.Errorf("core: no feasible primary path %d->%d within %d hops", src, dst, primaryMax)
+		return
+	}
+	p.prim.set(g, links)
+	if spec.DelayBound > 0 {
+		// The analytic admission test reads the load of every channel on the
+		// path, which later commits can change in either direction: strict.
+		p.strict = true
+		model := m.plan.cfg.DelayModel
+		if model.ControlFrameSize == 0 {
+			model = rtchan.DefaultDelayModel()
+		}
+		pPath := topology.NewPathUnchecked(g, p.prim.links, p.prim.nodes)
+		if bound, ok := m.plan.net.DelayAdmission(pPath, spec, model); !ok {
+			p.err = fmt.Errorf("core: delay admission failed for %d->%d: bound %v vs contract %v",
+				src, dst, bound, spec.DelayBound)
+			return
+		}
+	}
+	if len(p.degrees) == 0 {
+		return
+	}
+
+	// Stamp this connection's primary once: backup probes count each peer
+	// primary's overlap with array loads, as decideMux does on the write side.
+	pc.marks.SetComponents(g, p.prim.links, p.prim.nodes)
+	excl := pc.excl.Reset()
+	addExcluded(excl, &p.prim)
+	for i, alpha := range p.degrees {
+		bp := p.backupAt(i)
+		bp.alpha = alpha
+		bp.nu = reliability.NuForDegree(m.plan.cfg.Lambda, alpha)
+		if !pc.routeBackupLinks(p, bp) {
+			p.err = fmt.Errorf("core: no feasible disjoint path for backup %d of %d->%d", i+1, src, dst)
+			return
+		}
+		if err := pc.probeBackup(p, bp); err != nil {
+			p.err = fmt.Errorf("core: backup %d multiplexing: %w", i+1, err)
+			return
+		}
+		p.nBackups = i + 1
+		addExcluded(excl, &bp.path)
+	}
+}
+
+// addExcluded excludes a planned path's components the way Exclusion.AddPath
+// does: every link plus every interior node.
+func addExcluded(excl *routing.Exclusion, pp *pathPlan) {
+	for _, l := range pp.links {
+		excl.AddLink(l)
+	}
+	for i := 1; i+1 < len(pp.nodes); i++ {
+		excl.AddNode(pp.nodes[i])
+	}
+}
+
+// routeBackupLinks routes one backup into bp.path, mirroring
+// Manager.routeBackup over the planner's own engines.
+func (pc *planContext) routeBackupLinks(p *connPlan, bp *backupPlan) bool {
+	m := pc.m
+	g := m.plan.net.Graph()
+	feasible := routing.Constraint{TieBreak: m.plan.cfg.TieBreak, LinkAllowed: pc.linkFeasible}
+	c := pc.excl.Constrain(feasible)
+	if m.plan.cfg.BackupRouting == RouteMaxFlow {
+		paths := pc.router.MaxDisjointPaths(p.src, p.dst, 1, c)
+		if len(paths) == 0 {
+			return false
+		}
+		bp.path.set(g, paths[0].Links())
+		return true
+	}
+	if m.plan.cfg.BackupSlackHops >= 0 {
+		// QoS bound relative to the shortest disjoint path, regardless of
+		// current bandwidth availability (see Manager.routeBackup).
+		unconstrained := pc.excl.Constrain(routing.Constraint{})
+		if hops := pc.router.ShortestDistance(p.src, p.dst, unconstrained); hops >= 0 {
+			c.MaxHops = hops + m.plan.cfg.BackupSlackHops
+		}
+	}
+	if m.plan.cfg.BackupRouting == RouteLoadAware && len(p.prim.links) > 0 {
+		// The load-aware weight reads every candidate link's spare pool, far
+		// beyond what consulted-link tracking can revalidate: strict.
+		p.strict = true
+		ps := &prospectiveS{
+			m:         m,
+			marks:     pc.marks,
+			primComps: 2*len(p.prim.links) + 1,
+			s:         make(map[rtchan.ConnID]float64),
+		}
+		bw, nu := p.spec.Bandwidth, bp.nu
+		w := func(l topology.LinkID) float64 {
+			return 0.05*bw + m.prospectiveSpareIncrease(l, ps, bw, nu)
+		}
+		if links, ok := pc.router.MinCostLinks(p.src, p.dst, c, w); ok {
+			bp.path.set(g, links)
+			return true
+		}
+		// Fall through to shortest-path if the weighted search fails.
+	}
+	links, ok := pc.router.ShortestLinks(p.src, p.dst, c)
+	if !ok {
+		return false
+	}
+	bp.path.set(g, links)
+	return true
+}
+
+// probeBackup runs the spare-pool admission probe for one routed backup,
+// recording the wiring that commit will replay. It performs exactly the scan
+// addBackupToLink would, without mutating anything.
+func (pc *planContext) probeBackup(p *connPlan, bp *backupPlan) error {
+	if cap(bp.wires) < len(bp.path.links) {
+		bp.wires = make([]linkWire, 0, 2*len(bp.path.links))
+	}
+	bp.wires = bp.wires[:0]
+	// Π decisions are link-independent per peer channel; memoize them across
+	// this backup's links (the probe analogue of muxDec in addBackup).
+	pc.dec.begin(0)
+	for _, l := range bp.path.links {
+		w, err := pc.probeLink(p, bp, l)
+		if err != nil {
+			return err
+		}
+		bp.wires = append(bp.wires, w)
+	}
+	return nil
+}
+
+// probeLink evaluates one link's admission scan read-only: Π decisions
+// against every existing entry, the new entry's requirement, and the spare
+// level the link must reach. The returned error is exactly what the
+// sequential add would fail with. pc.dec must be begun for this backup and
+// pc.marks stamped with the plan's primary.
+func (pc *planContext) probeLink(p *connPlan, bp *backupPlan, l topology.LinkID) (linkWire, error) {
+	m := pc.m
+	lm := &m.plan.mux[l]
+	bw := p.spec.Bandwidth
+	w := linkWire{link: l, growOff: int32(len(p.growBuf)), piOff: int32(len(p.piBuf))}
+	req := bw
+	maxGrown := 0.0
+	for ei := range lm.entries {
+		e := &lm.entries[ei]
+		newInE, eInNew, hit := pc.dec.lookup(e.ch.ID)
+		if !hit {
+			newInE, eInNew = pc.decide(e, bp.nu)
+			pc.dec.store(e.ch.ID, newInE, eInNew)
+		}
+		if newInE {
+			p.growBuf = append(p.growBuf, int32(ei))
+			if g := e.req + bw; g > maxGrown {
+				maxGrown = g
+			}
+		}
+		if eInNew {
+			p.piBuf = append(p.piBuf, e.ch.ID)
+			req += e.ch.Bandwidth()
+		}
+	}
+	w.growLen = int32(len(p.growBuf)) - w.growOff
+	w.piLen = int32(len(p.piBuf)) - w.piOff
+	w.req = req
+	// What requiredSpare() would return after the wiring: the unchanged
+	// entries' max, the grown entries' new requirements, and the new entry.
+	need := lm.requiredSpareRO()
+	if req > need {
+		need = req
+	}
+	if maxGrown > need {
+		need = maxGrown
+	}
+	w.need = need
+	if need > lm.spare {
+		if err := m.plan.net.SpareCheck(l, need); err != nil {
+			return w, fmt.Errorf("core: link %d cannot grow spare to %g: %w", l, need, err)
+		}
+	}
+	return w, nil
+}
+
+// decide is the planner's Π decision for one existing entry against the
+// backup being planned, identical in formula to decideMux. The planned
+// connection does not exist yet, so the same-connection case cannot arise:
+// backups of one plan never share links (disjointness is enforced while
+// planning, unlike EstablishOnPaths).
+func (pc *planContext) decide(e *muxEntry, newNu float64) (newInE, eInNew bool) {
+	pe := e.conn.Primary
+	if pe == nil {
+		// Conservative treatment for a momentarily primary-less connection,
+		// as in mutualExclusion.
+		return true, true
+	}
+	sc := pc.marks.Shared(pe.Path)
+	s := pc.m.simSRO(pe.Path.NumComponents(), 2*len(pc.cur.prim.links)+1, sc)
+	return muxDecision(s, e.nu, newNu, pc.m.plan.cfg.DisablePiDegreeRestriction)
+}
+
+// planOnPaths re-plans p's backups over explicitly chosen, mutually disjoint
+// paths at a uniform degree, keeping the already-planned primary. It is the
+// probe-only core of EstablishWithPr's negotiation loop: candidates are
+// routed once, and each (count, degree) attempt costs only admission probes.
+// Reports whether every backup fits; p is left committable on success.
+func (pc *planContext) planOnPaths(p *connPlan, paths []topology.Path, alpha int) bool {
+	m := pc.m
+	g := m.plan.net.Graph()
+	p.err = nil
+	p.nBackups = 0
+	p.growBuf = p.growBuf[:0]
+	p.piBuf = p.piBuf[:0]
+	p.degrees = p.degrees[:0]
+	pc.cur = p
+	pc.bw = p.spec.Bandwidth
+	pc.track = false
+	pc.marks.SetComponents(g, p.prim.links, p.prim.nodes)
+	nu := reliability.NuForDegree(m.plan.cfg.Lambda, alpha)
+	for i, path := range paths {
+		bp := p.backupAt(i)
+		bp.alpha = alpha
+		bp.nu = nu
+		bp.path.set(g, path.Links())
+		if err := pc.probeBackup(p, bp); err != nil {
+			return false
+		}
+		p.nBackups = i + 1
+		p.degrees = append(p.degrees, alpha)
+	}
+	return true
+}
+
+// commitPlan applies a plan under the write lock: it materializes the
+// channels and replays the recorded wiring. No routing and no admission
+// decisions happen here — for a plan computed (or revalidated) under the
+// same lock, the replay is exact. Rejections commit by returning the
+// planned error; they mutate nothing and consume no ids, exactly like the
+// sequential loop's all-or-nothing rejection.
+func (m *Manager) commitPlan(p *connPlan) (*DConnection, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	g := m.plan.net.Graph()
+	conn := &DConnection{ID: m.nextConn, Src: p.src, Dst: p.dst, Spec: p.spec}
+	pPath := topology.NewPathUnchecked(g, p.prim.links, p.prim.nodes)
+	prim, err := m.plan.net.Establish(conn.ID, rtchan.RolePrimary, 0, pPath, p.spec)
+	if err != nil {
+		// Unreachable after a successful plan: the routing predicate
+		// (free >= bw-1e-9) is stricter than CanReserve's tolerance. Kept as
+		// a defensive guard.
+		return nil, fmt.Errorf("core: primary admission: %w", err)
+	}
+	conn.Primary = prim
+	undo := func() {
+		for _, b := range conn.Backups {
+			m.removeBackup(b)
+			_ = m.plan.net.Teardown(b.ID)
+		}
+		_ = m.plan.net.Teardown(prim.ID)
+		// The ID is not consumed on rollback: the next attempt reuses it with
+		// a different primary, so cached S values must not survive.
+		m.plan.scache.bump(conn.ID)
+	}
+	nb := p.nBackups
+	if nb > 0 {
+		conn.Backups = make([]*rtchan.Channel, 0, nb)
+		conn.Degrees = make([]int, 0, nb)
+	}
+	// All planned Π sets share one backing array. Each slice is capacity-
+	// capped to its planned length, so a later establishment appending to an
+	// entry's Π reallocates that slice instead of clobbering its neighbor.
+	var piAll []rtchan.ChannelID
+	if len(p.piBuf) > 0 {
+		piAll = make([]rtchan.ChannelID, len(p.piBuf))
+		copy(piAll, p.piBuf)
+	}
+	for i := 0; i < nb; i++ {
+		bp := &p.backups[i]
+		bPath := topology.NewPathUnchecked(g, bp.path.links, bp.path.nodes)
+		bch, err := m.plan.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, p.spec)
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("core: backup %d admission: %w", i+1, err)
+		}
+		if err := m.commitBackupWires(p, bp, conn, bch, piAll); err != nil {
+			_ = m.plan.net.Teardown(bch.ID)
+			undo()
+			return nil, fmt.Errorf("core: backup %d multiplexing: %w", i+1, err)
+		}
+		conn.Backups = append(conn.Backups, bch)
+		conn.Degrees = append(conn.Degrees, bp.alpha)
+	}
+	m.plan.conns[conn.ID] = conn
+	m.plan.order = append(m.plan.order, conn.ID)
+	m.nextConn++
+	return conn, nil
+}
+
+// commitBackupWires replays one backup's recorded wiring onto its links. On
+// the (defensively handled) SetSpare failure it rolls its own links back and
+// leaves the rest to the caller, mirroring addBackupToLink + addBackup.
+func (m *Manager) commitBackupWires(p *connPlan, bp *backupPlan, conn *DConnection, bch *rtchan.Channel, piAll []rtchan.ChannelID) error {
+	bw := bch.Bandwidth()
+	for wi := range bp.wires {
+		w := &bp.wires[wi]
+		lm := &m.plan.mux[w.link]
+		for _, ei := range p.growBuf[w.growOff : w.growOff+w.growLen] {
+			e := &lm.entries[ei]
+			e.pi = append(e.pi, bch.ID)
+			e.req += bw
+			lm.noteReq(e.req)
+		}
+		entry := muxEntry{ch: bch, conn: conn, alpha: bp.alpha, nu: bp.nu, req: w.req}
+		if w.piLen > 0 {
+			entry.pi = piAll[w.piOff : w.piOff+w.piLen : w.piOff+w.piLen]
+		}
+		lm.entries = append(lm.entries, entry)
+		lm.noteReq(entry.req)
+		need := lm.requiredSpare()
+		if need > lm.spare {
+			if err := m.plan.net.SetSpare(w.link, need); err != nil {
+				// Unreachable for a plan probed under this lock; undo this
+				// link and the already-wired prefix.
+				lm.removeAt(len(lm.entries) - 1)
+				for _, ei := range p.growBuf[w.growOff : w.growOff+w.growLen] {
+					e := &lm.entries[ei]
+					e.piRemove(bch.ID)
+					e.req -= bw
+				}
+				lm.reqDirty = true
+				for _, u := range bp.wires[:wi] {
+					m.removeBackupFromLink(u.link, bch)
+				}
+				return fmt.Errorf("core: link %d cannot grow spare to %g: %w", w.link, need, err)
+			}
+			lm.spare = need
+		}
+	}
+	return nil
+}

@@ -24,94 +24,15 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, d
 	return m.establish(src, dst, spec, degrees)
 }
 
+// establish is plan + commit over the manager's own planning context (see
+// establish.go): the read-only plan phase routes and probes everything, and
+// the commit phase replays the recorded wiring. Running both under the write
+// lock makes the pair exactly equivalent to the former incremental loop,
+// while keeping the commit path free of routing and admission scans.
 func (m *Manager) establish(src, dst topology.NodeID, spec rtchan.TrafficSpec, degrees []int) (*DConnection, error) {
-	if src == dst {
-		return nil, fmt.Errorf("core: src == dst (%d)", src)
-	}
-	if spec.Bandwidth <= 0 {
-		return nil, fmt.Errorf("core: non-positive bandwidth")
-	}
-	base := m.router.Distance(src, dst)
-	if base < 0 {
-		return nil, fmt.Errorf("core: %d and %d are disconnected", src, dst)
-	}
-	conn := &DConnection{
-		ID:   m.nextConn,
-		Src:  src,
-		Dst:  dst,
-		Spec: spec,
-	}
-
-	undo := func() {
-		for _, b := range conn.Backups {
-			m.removeBackup(b)
-			_ = m.plan.net.Teardown(b.ID)
-		}
-		if conn.Primary != nil {
-			_ = m.plan.net.Teardown(conn.Primary.ID)
-		}
-		// The ID is not consumed on rejection: the next attempt reuses it
-		// with a different primary, so cached S values must not survive.
-		m.plan.scache.bump(conn.ID)
-	}
-
-	// Route the primary.
-	primaryMax := base + spec.SlackHops
-	pPath, ok := m.routePrimary(src, dst, spec.Bandwidth, primaryMax)
-	if !ok {
-		return nil, fmt.Errorf("core: no feasible primary path %d->%d within %d hops", src, dst, primaryMax)
-	}
-	// Channels with an explicit delay contract also pass the analytic
-	// admission test: the candidate's own bound must hold, and admitting it
-	// must not break any established channel's contract.
-	if spec.DelayBound > 0 {
-		model := m.plan.cfg.DelayModel
-		if model.ControlFrameSize == 0 {
-			model = rtchan.DefaultDelayModel()
-		}
-		if bound, ok := m.plan.net.DelayAdmission(pPath, spec, model); !ok {
-			return nil, fmt.Errorf("core: delay admission failed for %d->%d: bound %v vs contract %v",
-				src, dst, bound, spec.DelayBound)
-		}
-	}
-	prim, err := m.plan.net.Establish(conn.ID, rtchan.RolePrimary, 0, pPath, spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: primary admission: %w", err)
-	}
-	conn.Primary = prim
-
-	// Route and admit the backups.
-	excl := m.estExcl.Reset()
-	excl.AddPath(pPath)
-	for i, alpha := range degrees {
-		bPath, ok := m.routeBackup(src, dst, spec.Bandwidth, alpha, pPath, excl)
-		if !ok {
-			undo()
-			return nil, fmt.Errorf("core: no feasible disjoint path for backup %d of %d->%d", i+1, src, dst)
-		}
-		bch, err := m.plan.net.Establish(conn.ID, rtchan.RoleBackup, i+1, bPath, spec)
-		if err != nil {
-			undo()
-			return nil, fmt.Errorf("core: backup %d admission: %w", i+1, err)
-		}
-		conn.Backups = append(conn.Backups, bch)
-		conn.Degrees = append(conn.Degrees, alpha)
-		if err := m.addBackup(conn, bch, alpha); err != nil {
-			undo()
-			return nil, fmt.Errorf("core: backup %d multiplexing: %w", i+1, err)
-		}
-		excl.AddPath(bPath)
-	}
-
-	m.plan.conns[conn.ID] = conn
-	m.plan.order = append(m.plan.order, conn.ID)
-	m.nextConn++
-	return conn, nil
-}
-
-// routePrimary finds a shortest feasible path for a primary channel.
-func (m *Manager) routePrimary(src, dst topology.NodeID, bw float64, maxHops int) (topology.Path, bool) {
-	return m.router.ShortestPath(src, dst, m.constraintForPrimary(bw, maxHops))
+	p := m.seqPlan
+	m.estCtx.plan(p, src, dst, spec, degrees, false)
+	return m.commitPlan(p)
 }
 
 // routeBackup finds a feasible path for a backup channel avoiding excl.

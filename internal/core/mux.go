@@ -99,6 +99,23 @@ func (lm *linkMux) requiredSpare() float64 {
 	return lm.maxReq
 }
 
+// requiredSpareRO returns the same value requiredSpare would, but never
+// writes: a deferred rescan is serviced into a local instead of the cache.
+// The establishment planner runs under the reader lock, where settling the
+// dirty flag would be a data race.
+func (lm *linkMux) requiredSpareRO() float64 {
+	if !lm.reqDirty {
+		return lm.maxReq
+	}
+	var max float64
+	for i := range lm.entries {
+		if lm.entries[i].req > max {
+			max = lm.entries[i].req
+		}
+	}
+	return max
+}
+
 // noteReq folds one entry's (possibly grown) requirement into the cached max.
 func (lm *linkMux) noteReq(req float64) {
 	if req > lm.maxReq {
@@ -197,6 +214,19 @@ func (d *muxDecisionScratch) store(id rtchan.ChannelID, newInE, eInNew bool) {
 	d.eInNew[id] = eInNew
 }
 
+// muxDecision is the pure decision formula shared by decideMux and the
+// establishment planner: given S for the pair and the two thresholds, it
+// reports (existing counts new in Π, new counts existing in Π). Identical to
+// mutualExclusion's formula with a=e, b=new.
+func muxDecision(s, eNu, newNu float64, disableRestriction bool) (eCountsNew, newCountsE bool) {
+	if disableRestriction {
+		return s >= eNu, s >= newNu
+	}
+	eCountsNew = newNu <= eNu && s >= eNu
+	newCountsE = eNu <= newNu && s >= newNu
+	return eCountsNew, newCountsE
+}
+
 // decideMux is the admission-scan fast path of mutualExclusion: the backup
 // being added has its primary's components stamped in m.piMarks (see
 // addBackup), so the shared-component count per peer is a handful of array
@@ -215,12 +245,7 @@ func (m *Manager) decideMux(e, entry *muxEntry) (eCountsNew, newCountsE bool) {
 	}
 	sc := m.piMarks.Shared(pe.Path)
 	s := m.simS(pe.Path.NumComponents(), entry.conn.Primary.Path.NumComponents(), sc)
-	if m.plan.cfg.DisablePiDegreeRestriction {
-		return s >= e.nu, s >= entry.nu
-	}
-	eCountsNew = entry.nu <= e.nu && s >= e.nu
-	newCountsE = e.nu <= entry.nu && s >= entry.nu
-	return eCountsNew, newCountsE
+	return muxDecision(s, e.nu, entry.nu, m.plan.cfg.DisablePiDegreeRestriction)
 }
 
 // addBackupToLink registers backup ch on link l and resizes the link's spare

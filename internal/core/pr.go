@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/rtcl/bcp/internal/reliability"
-	"github.com/rtcl/bcp/internal/routing"
 	"github.com/rtcl/bcp/internal/rtchan"
 	"github.com/rtcl/bcp/internal/topology"
 )
@@ -87,9 +86,13 @@ func (m *Manager) prospectivePr(primary topology.Path, backups []topology.Path, 
 // (§3.4): the client's Pr requirement is met "literally". Backups are added
 // incrementally, and for each backup count the *largest* multiplexing degree
 // (cheapest spare reservation) in [1, maxAlpha] that still meets requiredPr
-// is selected. The search mirrors the protocol's two-pass design: candidate
-// Ψ sizes are evaluated against the current network state before anything is
-// committed, and the chosen configuration is then established atomically.
+// is selected. The search mirrors the protocol's two-pass design: the
+// primary and the candidate backup paths are routed once, each (count,
+// degree) attempt is evaluated against the current network state with
+// read-only probes — prospective Ψ sizes for the Pr prediction, spare-pool
+// probes for admission — and only the accepted configuration is committed.
+// Nothing is established and torn down along the way, so a rejected
+// negotiation leaves no trace and consumes no ids.
 //
 // The request is rejected if requiredPr cannot be met with maxBackups
 // backups (the paper renegotiates; callers may retry with a lower Pr).
@@ -100,26 +103,27 @@ func (m *Manager) EstablishWithPr(src, dst topology.NodeID, spec rtchan.TrafficS
 	if maxBackups < 0 || maxAlpha < 1 {
 		return nil, fmt.Errorf("core: invalid negotiation bounds")
 	}
-	// The probe/teardown search below must be atomic against other writers,
-	// so the whole negotiation runs as one write transaction.
+	// The probe search below must be atomic against other writers, so the
+	// whole negotiation runs as one write transaction.
 	defer m.beginWrite()()
+	// Plan the primary once; it does not depend on the backup configuration.
+	p := m.seqPlan
+	m.estCtx.plan(p, src, dst, spec, nil, false)
+	if p.err != nil {
+		return nil, p.err
+	}
+	primComps := 2*len(p.prim.links) + 1
 	// Zero backups may already satisfy a lax requirement.
-	probeConn, err := m.establish(src, dst, spec, nil)
-	if err != nil {
-		return nil, err
+	if reliability.Pr(m.plan.cfg.Lambda, primComps, nil) >= requiredPr {
+		return m.commitPlan(p)
 	}
-	if m.connectionPr(probeConn) >= requiredPr {
-		return probeConn, nil
-	}
-	primary := probeConn.Primary.Path
-	if err := m.teardown(probeConn.ID); err != nil {
-		return nil, err
-	}
+	primary := topology.NewPathUnchecked(m.Graph(), p.prim.links, p.prim.nodes)
 
-	// Pre-route candidate backup paths once (they do not depend on alpha).
+	// Route candidate backup paths once (they do not depend on alpha; the
+	// planner leaves estExcl free for routeBackup to reuse).
 	var candidates []topology.Path
 	{
-		excl := routing.NewExclusion()
+		excl := m.estExcl.Reset()
 		excl.AddPath(primary)
 		for i := 0; i < maxBackups; i++ {
 			bPath, ok := m.routeBackup(src, dst, spec.Bandwidth, maxAlpha, primary, excl)
@@ -137,19 +141,18 @@ func (m *Manager) EstablishWithPr(src, dst topology.NodeID, spec rtchan.TrafficS
 			if m.prospectivePr(primary, paths, alpha) < requiredPr {
 				continue // too much multiplexing; tighten
 			}
-			degrees := make([]int, nb)
-			for i := range degrees {
-				degrees[i] = alpha
-			}
-			conn, err := m.establish(src, dst, spec, degrees)
-			if err != nil {
+			if !m.estCtx.planOnPaths(p, paths, alpha) {
 				// Admission failed (e.g. spare pools full at this ν);
 				// a smaller alpha only demands more, so try more backups.
 				break
 			}
-			// Commit-time Pr can differ slightly from the prediction if
-			// establishment routed other-than-candidate paths; accept if
-			// still satisfying, otherwise undo and keep searching.
+			conn, err := m.commitPlan(p)
+			if err != nil {
+				break
+			}
+			// The commit wires exactly the probed configuration, so the
+			// realized Pr should match the prediction; re-check defensively
+			// and keep searching if it somehow falls short.
 			if m.connectionPr(conn) >= requiredPr {
 				return conn, nil
 			}

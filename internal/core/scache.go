@@ -130,6 +130,25 @@ func (m *Manager) simS(ci, cj, sc int) float64 {
 	return s
 }
 
+// simSRO is simS for readers that must not mutate the manager (the batch
+// planners run under the reader lock, where growing the shared table would
+// race). NewManager pre-warms qpowTab past any component sum the graph can
+// produce, so the fallback recomputation — numerically identical, per-entry
+// math.Pow like the table itself — is for safety, not a real path.
+func (m *Manager) simSRO(ci, cj, sc int) float64 {
+	var s float64
+	if t := m.plan.qpowTab; len(t) > ci+cj {
+		s = 1 - (t[ci] + t[cj] - t[ci+cj-sc])
+	} else {
+		q := 1 - m.plan.cfg.Lambda
+		s = 1 - (math.Pow(q, float64(ci)) + math.Pow(q, float64(cj)) - math.Pow(q, float64(ci+cj-sc)))
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
 // pairS returns the memoized S(Bi,Bj) for backups of connections a and b.
 // Both connections must currently have a primary; the caller
 // (mutualExclusion) handles the primary-less conservative case before
@@ -170,16 +189,28 @@ func (m *Manager) primaryChanged(conn *DConnection) {
 // backup-routing search. RouteLoadAware evaluates the prospective spare
 // growth on every candidate link, and the same established connections
 // appear on many of them; the candidate has no connection ID yet, so the
-// long-lived pair cache cannot serve these lookups. Valid only while the
-// manager is not mutated (no primary changes mid-search).
+// long-lived pair cache cannot serve these lookups. The candidate primary is
+// carried as a PathMarks stamp (set by the caller), so the overlap count per
+// established primary is array loads. Valid only while the manager is not
+// mutated and the stamp is not re-set (no primary changes mid-search).
 type prospectiveS struct {
-	m       *Manager
-	primary topology.Path
-	s       map[rtchan.ConnID]float64
+	m         *Manager
+	marks     *topology.PathMarks // stamped with the candidate primary
+	primComps int
+	s         map[rtchan.ConnID]float64
 }
 
+// newProspectiveS stamps the candidate primary into m.piMarks and memoizes
+// against it. Writer-side only (the stamp is shared scratch); planners build
+// theirs via planContext.newProspectiveS over per-worker marks.
 func (m *Manager) newProspectiveS(primary topology.Path) *prospectiveS {
-	return &prospectiveS{m: m, primary: primary, s: make(map[rtchan.ConnID]float64)}
+	m.piMarks.Set(primary)
+	return &prospectiveS{
+		m:         m,
+		marks:     &m.piMarks,
+		primComps: primary.NumComponents(),
+		s:         make(map[rtchan.ConnID]float64),
+	}
 }
 
 // forConn returns S(candidate, conn's primary), memoized per connection.
@@ -189,7 +220,7 @@ func (p *prospectiveS) forConn(conn *DConnection) float64 {
 		return s
 	}
 	pp := conn.Primary.Path
-	s := p.m.simS(p.primary.NumComponents(), pp.NumComponents(), p.primary.SharedComponents(pp))
+	s := p.m.simSRO(p.primComps, pp.NumComponents(), p.marks.Shared(pp))
 	p.s[conn.ID] = s
 	return s
 }

@@ -1,0 +1,51 @@
+package routing
+
+import (
+	"sync"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// RouterPool leases Routers for one graph to concurrent workers. A Router is
+// not safe for concurrent use — its arenas are single-threaded scratch — so
+// parallel drivers (the speculative establishment planners, sweep pools) each
+// lease one for the duration of a burst and return it, keeping the warmed
+// arenas and per-source SPT caches alive across bursts instead of rebuilding
+// them per goroutine spawn.
+type RouterPool struct {
+	g    *topology.Graph
+	mu   sync.Mutex
+	free []*Router
+}
+
+// NewRouterPool creates an empty pool for g; Routers are built on demand.
+func NewRouterPool(g *topology.Graph) *RouterPool {
+	return &RouterPool{g: g}
+}
+
+// Graph returns the graph the pooled routers search.
+func (p *RouterPool) Graph() *topology.Graph { return p.g }
+
+// Get leases a Router. The caller owns it exclusively until Put.
+func (p *RouterPool) Get() *Router {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return r
+	}
+	p.mu.Unlock()
+	return NewRouter(p.g)
+}
+
+// Put returns a leased Router to the pool. The caller must not use r after.
+func (p *RouterPool) Put(r *Router) {
+	if r == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, r)
+	p.mu.Unlock()
+}

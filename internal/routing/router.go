@@ -36,8 +36,9 @@ type Router struct {
 	mark     uint32
 	nodeMark []uint32
 
-	cand  []topology.LinkID // backtrack tie candidates
-	links []topology.LinkID // result buffer for the *Links searches
+	cand    []topology.LinkID // backtrack tie candidates
+	links   []topology.LinkID // result buffer for the *Links searches
+	nodeSeq []topology.NodeID // node-sequence buffer for path materialization
 
 	// Dijkstra arena. Labels are valid iff dGen[n] == dgen.
 	dgen  uint32
@@ -327,12 +328,25 @@ func (r *Router) ShortestPath(src, dst topology.NodeID, c Constraint) (topology.
 	if !ok {
 		return topology.Path{}, false
 	}
-	p, err := topology.NewPath(r.g, links)
-	if err != nil {
-		// BFS trees cannot produce discontiguous or cyclic paths.
-		panic("routing: internal error: " + err.Error())
+	// BFS trees cannot produce discontiguous or cyclic paths, so the
+	// validating constructor would only re-derive what the backtrack already
+	// guarantees.
+	return topology.NewPathUnchecked(r.g, links, r.nodesFor(links)), true
+}
+
+// nodesFor expands a contiguous link sequence into its node sequence, in the
+// router's reusable buffer (valid until the next nodesFor call).
+func (r *Router) nodesFor(links []topology.LinkID) []topology.NodeID {
+	if cap(r.nodeSeq) < len(links)+1 {
+		r.nodeSeq = make([]topology.NodeID, len(links)+1)
 	}
-	return p, true
+	nodes := r.nodeSeq[:len(links)+1]
+	nodes[0] = r.g.Link(links[0]).From
+	for i, l := range links {
+		nodes[i+1] = r.g.Link(l).To
+	}
+	r.nodeSeq = nodes
+	return nodes
 }
 
 // heapPush and heapPop mirror container/heap's sift rules exactly (binary
@@ -474,11 +488,9 @@ func (r *Router) MinCostPath(src, dst topology.NodeID, c Constraint, w WeightFun
 	if !ok {
 		return topology.Path{}, false
 	}
-	p, err := topology.NewPath(r.g, links)
-	if err != nil {
-		return topology.Path{}, false
-	}
-	return p, true
+	// MinCostLinks' mark-stamp walk already rejected revisits, and the via
+	// chain is contiguous by construction.
+	return topology.NewPathUnchecked(r.g, links, r.nodesFor(links)), true
 }
 
 // SequentialDisjointPaths implements the paper's routing discipline on the

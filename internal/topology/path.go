@@ -25,27 +25,21 @@ type Path struct {
 	sets *pathSets
 }
 
+// pathSets holds only the sorted component slices: membership tests binary
+// search them, and SharedComponents merges them. Paths are a handful of hops,
+// so sorted slices beat hash maps on both lookup cost and construction —
+// building the two maps used to dominate path-construction allocations.
 type pathSets struct {
-	links map[LinkID]struct{}
-	nodes map[NodeID]int // node -> position in the node sequence
 	// sortedLinks/sortedNodes support SharedComponents by linear merge
-	// intersection — cheaper than hashing for typical path lengths.
+	// intersection and the Contains* lookups by binary search.
 	sortedLinks []LinkID
 	sortedNodes []NodeID
 }
 
 func buildPathSets(links []LinkID, nodes []NodeID) *pathSets {
 	ps := &pathSets{
-		links:       make(map[LinkID]struct{}, len(links)),
-		nodes:       make(map[NodeID]int, len(nodes)),
 		sortedLinks: append([]LinkID(nil), links...),
 		sortedNodes: append([]NodeID(nil), nodes...),
-	}
-	for _, l := range links {
-		ps.links[l] = struct{}{}
-	}
-	for i, n := range nodes {
-		ps.nodes[n] = i
 	}
 	slices.Sort(ps.sortedLinks)
 	slices.Sort(ps.sortedNodes)
@@ -94,6 +88,34 @@ func NewPath(g *Graph, links []LinkID) (Path, error) {
 	}
 	linksCopy := append([]LinkID(nil), links...)
 	return Path{g: g, links: linksCopy, nodes: nodes, sets: buildPathSets(linksCopy, nodes)}, nil
+}
+
+// NewPathUnchecked builds a Path from a link sequence and its matching node
+// sequence without validating contiguity or simplicity. It exists for callers
+// that produce paths by construction — BFS/Dijkstra backtracks, plan replay —
+// where re-validation is pure overhead. links and nodes are copied; the input
+// slices may be scratch buffers. nodes must be the exact node sequence of
+// links (len(links)+1 entries, source first).
+//
+// The copies and the component sets share one backing allocation per id type,
+// so a path costs three allocations instead of NewPath's six-plus.
+func NewPathUnchecked(g *Graph, links []LinkID, nodes []NodeID) Path {
+	lbuf := make([]LinkID, 2*len(links))
+	copy(lbuf, links)
+	sortedLinks := lbuf[len(links):]
+	copy(sortedLinks, links)
+	slices.Sort(sortedLinks)
+	nbuf := make([]NodeID, 2*len(nodes))
+	copy(nbuf, nodes)
+	sortedNodes := nbuf[len(nodes):]
+	copy(sortedNodes, nodes)
+	slices.Sort(sortedNodes)
+	return Path{
+		g:     g,
+		links: lbuf[:len(links):len(links)],
+		nodes: nbuf[:len(nodes):len(nodes)],
+		sets:  &pathSets{sortedLinks: sortedLinks, sortedNodes: sortedNodes},
+	}
 }
 
 // MustPath is NewPath that panics on error, for tests and literals.
@@ -163,7 +185,7 @@ func (p Path) NumComponents() int {
 // ContainsLink reports whether the path traverses link l.
 func (p Path) ContainsLink(l LinkID) bool {
 	if p.sets != nil {
-		_, ok := p.sets.links[l]
+		_, ok := slices.BinarySearch(p.sets.sortedLinks, l)
 		return ok
 	}
 	// Zero paths carry no precomputed sets.
@@ -178,7 +200,7 @@ func (p Path) ContainsLink(l LinkID) bool {
 // ContainsNode reports whether the path visits node n (including end nodes).
 func (p Path) ContainsNode(n NodeID) bool {
 	if p.sets != nil {
-		_, ok := p.sets.nodes[n]
+		_, ok := slices.BinarySearch(p.sets.sortedNodes, n)
 		return ok
 	}
 	for _, x := range p.nodes {
@@ -195,14 +217,9 @@ func (p Path) ContainsInteriorNode(n NodeID) bool {
 	return i > 0 && i < len(p.nodes)-1
 }
 
-// IndexOfNode returns the position of n in the node sequence, or -1.
+// IndexOfNode returns the position of n in the node sequence, or -1. Paths
+// are a handful of hops, so a linear scan wins over any index structure.
 func (p Path) IndexOfNode(n NodeID) int {
-	if p.sets != nil {
-		if i, ok := p.sets.nodes[n]; ok {
-			return i
-		}
-		return -1
-	}
 	for i, x := range p.nodes {
 		if x == n {
 			return i
@@ -239,7 +256,13 @@ type PathMarks struct {
 // Set stamps p's components, replacing any previously set path. p must be
 // non-zero.
 func (pm *PathMarks) Set(p Path) {
-	g := p.Graph()
+	pm.SetComponents(p.Graph(), p.links, p.nodes)
+}
+
+// SetComponents stamps a path given by its raw link and node sequences,
+// replacing any previously set path. It serves planners that carry paths as
+// scratch link/node buffers and only materialize a Path at commit time.
+func (pm *PathMarks) SetComponents(g *Graph, links []LinkID, nodes []NodeID) {
 	if len(pm.linkGen) < g.NumLinks() {
 		pm.linkGen = make([]uint32, g.NumLinks())
 	}
@@ -252,10 +275,10 @@ func (pm *PathMarks) Set(p Path) {
 		clear(pm.nodeGen)
 		pm.gen = 1
 	}
-	for _, l := range p.links {
+	for _, l := range links {
 		pm.linkGen[l] = pm.gen
 	}
-	for _, n := range p.nodes {
+	for _, n := range nodes {
 		pm.nodeGen[n] = pm.gen
 	}
 }
@@ -288,17 +311,16 @@ func (p Path) ComponentDisjoint(q Path) bool {
 		return true
 	}
 	for _, l := range p.links {
-		if _, shared := q.sets.links[l]; shared {
+		if q.ContainsLink(l) {
 			return false
 		}
 	}
-	qEnds := map[NodeID]struct{}{q.Source(): {}, q.Destination(): {}}
 	for i, n := range p.nodes {
-		if _, shared := q.sets.nodes[n]; !shared {
+		if !q.ContainsNode(n) {
 			continue
 		}
 		pEnd := i == 0 || i == len(p.nodes)-1
-		_, qEnd := qEnds[n]
+		qEnd := n == q.Source() || n == q.Destination()
 		if !pEnd || !qEnd {
 			return false
 		}
