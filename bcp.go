@@ -8,9 +8,11 @@ import (
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/experiment"
 	"github.com/rtcl/bcp/internal/metrics"
+	"github.com/rtcl/bcp/internal/realtime"
 	"github.com/rtcl/bcp/internal/reliability"
 	"github.com/rtcl/bcp/internal/routing"
 	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/runtime"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
 	"github.com/rtcl/bcp/internal/trace"
@@ -176,6 +178,55 @@ func DefaultProtocolConfig() ProtocolConfig { return bcpd.DefaultConfig() }
 // NewProtocol builds the message-level engine over an established manager.
 func NewProtocol(eng *Engine, mgr *Manager, cfg ProtocolConfig) *Protocol {
 	return bcpd.New(eng, mgr, cfg)
+}
+
+// --- Live execution ------------------------------------------------------
+
+type (
+	// Runtime is the execution substrate the protocol runs on: a clock,
+	// a timer service, and a seeded RNG. sim.Engine satisfies it for
+	// deterministic runs; RealtimeRuntime drives the same daemons on the
+	// wall clock.
+	Runtime = runtime.Runtime
+	// RealtimeRuntime executes the protocol in real time: per-node actor
+	// goroutines with bounded mailboxes and a monotonic-clock timer heap,
+	// every protocol callback serialized on one execution lock.
+	RealtimeRuntime = realtime.Runtime
+	// Transport carries protocol traffic between daemons: the in-sim
+	// zero-copy scheduler, in-memory pipes, or loopback UDP datagrams.
+	Transport = bcpd.Transport
+	// SimTransport is the deterministic zero-copy in-process transport.
+	SimTransport = bcpd.SimTransport
+	// PipeTransport carries live traffic over in-memory pipes (loss-free
+	// wire; losses only at down links, full pipes, full mailboxes).
+	PipeTransport = bcpd.PipeTransport
+	// UDPTransport carries live traffic as real loopback datagrams.
+	UDPTransport = bcpd.UDPTransport
+	// PostFunc enqueues work on a node's actor mailbox; a
+	// RealtimeRuntime's Post method has this shape.
+	PostFunc = bcpd.PostFunc
+)
+
+var (
+	// NewRealtimeRuntime creates a wall-clock runtime; call StartActors
+	// before building a protocol network on it, and Stop when done.
+	NewRealtimeRuntime = realtime.New
+	// NewSimTransport creates the deterministic in-process transport.
+	NewSimTransport = bcpd.NewSimTransport
+	// NewPipeTransport creates an in-memory live transport delivering
+	// through a PostFunc.
+	NewPipeTransport = bcpd.NewPipeTransport
+	// NewUDPTransport creates a loopback-datagram live transport.
+	NewUDPTransport = bcpd.NewUDPTransport
+)
+
+// NewProtocolOn builds the message-level engine on an explicit runtime and
+// transport: sim.Engine + SimTransport is NewProtocol; RealtimeRuntime +
+// Pipe/UDPTransport runs the same daemons live. With a live runtime, call
+// it (and every later FailLink/StartTraffic/stat read) through
+// RealtimeRuntime.Exec so it is serialized with the protocol.
+func NewProtocolOn(rt Runtime, tr Transport, mgr *Manager, cfg ProtocolConfig) *Protocol {
+	return bcpd.NewOn(rt, tr, mgr, cfg)
 }
 
 // --- Observability --------------------------------------------------------

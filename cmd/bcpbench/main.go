@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -111,6 +112,96 @@ func runProtocolScenario(sink bcp.TraceSink) error {
 		return fmt.Errorf("scenario did not recover")
 	}
 	return nil
+}
+
+// runLiveRecoveryTrial boots one fresh live network on the wall-clock
+// runtime (3x3 mesh, nine daemon actors, pipe transport), crashes the
+// primary's middle link, and returns the measured failure→data-resumption
+// delay: from the instant FailLink runs to the first data message the
+// destination sees after the source switched to the backup.
+func runLiveRecoveryTrial(seed int64) (time.Duration, error) {
+	g := bcp.NewMesh(3, 3, 10)
+	mgr := bcp.NewManager(g, bcp.DefaultConfig())
+	paths := bcp.SequentialDisjointPaths(g, 0, bcp.NodeID(g.NumNodes()-1), 2, bcp.RoutingConstraint{})
+	if len(paths) < 2 {
+		return 0, fmt.Errorf("no disjoint paths on the mesh")
+	}
+	conn, err := mgr.EstablishOnPaths(bcp.DefaultSpec(), paths[0], paths[1:2], []int{1})
+	if err != nil {
+		return 0, err
+	}
+	rt := bcp.NewRealtimeRuntime(seed)
+	rt.StartActors(g.NumNodes(), 1024)
+	defer rt.Stop()
+	tr := bcp.NewPipeTransport(rt.Post, 1024)
+	defer tr.Close()
+	var net *bcp.Protocol
+	rt.Exec(func() { net = bcp.NewProtocolOn(rt, tr, mgr, cfgLive()) })
+	var startErr error
+	rt.Exec(func() { startErr = net.StartTraffic(conn.ID, 500) })
+	if startErr != nil {
+		return 0, startErr
+	}
+	wait := func(what string, cond func() bool) error {
+		limit := time.Now().Add(10 * time.Second)
+		for {
+			var ok bool
+			rt.Exec(func() { ok = cond() })
+			if ok {
+				return nil
+			}
+			if time.Now().After(limit) {
+				return fmt.Errorf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := wait("pre-failure data", func() bool { return net.Stats().DataDelivered >= 20 }); err != nil {
+		return 0, err
+	}
+	links := conn.Primary.Path.Links()
+	fail := links[len(links)/2]
+	var failAt bcp.Time
+	rt.Exec(func() {
+		failAt = rt.Now()
+		net.FailLink(fail)
+	})
+	if err := wait("source switch", func() bool { return len(net.SourceSwitches(conn.ID)) == 1 }); err != nil {
+		return 0, err
+	}
+	var switchAt, resumeAt bcp.Time
+	rt.Exec(func() { switchAt = net.SourceSwitches(conn.ID)[0] })
+	if err := wait("data resumption", func() bool {
+		at, ok := net.FirstArrivalAfter(conn.ID, switchAt)
+		resumeAt = at
+		return ok
+	}); err != nil {
+		return 0, err
+	}
+	return resumeAt.Sub(failAt), nil
+}
+
+// cfgLive is the live kernels' protocol config: default timing, immediate
+// detection (the delay of interest is recovery, not the detector).
+func cfgLive() bcp.ProtocolConfig {
+	cfg := bcp.DefaultProtocolConfig()
+	cfg.DetectionLatency = 0
+	return cfg
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // runSmoke is the CI guard behind -smoke: each hot kernel runs a handful of
@@ -507,6 +598,31 @@ func main() {
 		}
 	}))
 	fmt.Fprintf(os.Stderr, "RecoveryStorm done\n")
+
+	// LiveRecovery: the recovery scenario off the simulator — nine daemons
+	// as wall-clock actors, data over in-memory pipes, a real crash, and
+	// the measured failure→data-resumption delay. Wall-clock measurements
+	// do not average like CPU kernels, so this one is recorded as p50/p99
+	// over fresh-network trials (ns_per_op holds the percentile; N the
+	// trial count; alloc columns are meaningless and left zero).
+	{
+		const liveTrials = 20
+		delays := make([]time.Duration, 0, liveTrials)
+		for i := 0; i < liveTrials; i++ {
+			d, err := runLiveRecoveryTrial(*seed + int64(i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bcpbench: live recovery trial %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			delays = append(delays, d)
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		results = append(results,
+			Result{Name: "LiveRecovery-p50", N: liveTrials, NsPerOp: float64(percentile(delays, 0.50))},
+			Result{Name: "LiveRecovery-p99", N: liveTrials, NsPerOp: float64(percentile(delays, 0.99))},
+		)
+		fmt.Fprintf(os.Stderr, "LiveRecovery done\n")
+	}
 
 	if *workers > 1 {
 		opts := bcp.DefaultExperimentOptions()

@@ -27,7 +27,7 @@ import (
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/rcc"
 	"github.com/rtcl/bcp/internal/rtchan"
-	"github.com/rtcl/bcp/internal/sched"
+	"github.com/rtcl/bcp/internal/runtime"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
 	"github.com/rtcl/bcp/internal/trace"
@@ -129,18 +129,51 @@ func DefaultConfig() Config {
 	}
 }
 
-// linkRuntime is the simulated transmitter of one simplex link plus the RCC
-// endpoint that sends control frames over it.
+// Transport carries protocol traffic between daemons. The Network calls the
+// Send side from runtime-serialized protocol code; the transport delivers to
+// the far daemon by calling back into Network.deliverFrame / deliverData /
+// deliverHeartbeat, also runtime-serialized (directly in sim; via the
+// receiving node's actor mailbox in live runs).
+//
+// Ownership: SendFrame transfers the marshaled frame buffer (checked out of
+// the network's rcc.BufferPool) to the transport, which must either carry it
+// to deliverFrame (the network Puts it back after HandleFrame) or reclaim it
+// through the network's drop path. SendData likewise transfers the pooled
+// *dataPayload box. A transport that serializes to a real wire (UDP) copies
+// and reclaims immediately.
+type Transport interface {
+	// Attach binds the transport to its network. Called exactly once, from
+	// NewOn, after the daemons and RCC endpoints exist and before any
+	// traffic flows.
+	Attach(n *Network)
+	// SendFrame transmits one marshaled RCC control frame over link l.
+	SendFrame(l topology.LinkID, frame []byte)
+	// SendData transmits one data message over link l.
+	SendData(l topology.LinkID, p *dataPayload)
+	// SendHeartbeat transmits one heartbeat over link l.
+	SendHeartbeat(l topology.LinkID)
+	// SetLinkDown fails or repairs link l: a down link loses everything
+	// submitted to it (and, per the crash model, everything queued).
+	SetLinkDown(l topology.LinkID, down bool)
+	// Close releases transport resources (goroutines, sockets). The sim
+	// transport is a no-op; live transports must be closed before their
+	// runtime is stopped.
+	Close()
+}
+
+// linkRuntime is the protocol-side state of one simplex link: the RCC
+// endpoint that sends control frames over it, and the daemons' view of its
+// health. The transmitter itself lives behind the Transport.
 type linkRuntime struct {
 	id   topology.LinkID
-	sl   *sched.Link
 	rccE *rcc.Endpoint // owned by the From-side daemon; sends over this link
 	down bool
 }
 
 // Network is the protocol engine for one topology.
 type Network struct {
-	eng   *sim.Engine
+	rt    runtime.Runtime
+	tr    Transport
 	mgr   *core.Manager
 	cfg   Config
 	links []*linkRuntime
@@ -166,32 +199,23 @@ type Network struct {
 
 	// Recycled per-recovery scratch. framePool recycles marshaled RCC
 	// frame buffers across every endpoint (Get at marshal, Put after
-	// HandleFrame in deliver; frames dropped in flight leak to the GC and
-	// are never double-freed). frameBoxFree and dataFree recycle the
-	// pointer boxes that carry payloads through the scheduler without
-	// re-boxing an interface per packet. chanListFree recycles the
-	// affected-channel fan-out lists built when a component fails.
+	// HandleFrame in deliverFrame or by the transport's drop path — a
+	// dropped frame is reclaimed, not leaked). dataFree recycles the
+	// pointer boxes that carry data payloads without re-boxing an
+	// interface per packet; dataOut counts boxes checked out so pool-
+	// balance tests can prove drops reclaim them. chanListFree recycles
+	// the affected-channel fan-out lists built when a component fails.
 	framePool    *rcc.BufferPool
-	frameBoxFree []*rccFrame
 	dataFree     []*dataPayload
+	dataOut      int
 	chanListFree [][]rtchan.ChannelID
 
 	stats Stats
 }
 
-// getFrameBox returns a recycled frame box.
-func (n *Network) getFrameBox() *rccFrame {
-	if k := len(n.frameBoxFree); k > 0 {
-		b := n.frameBoxFree[k-1]
-		n.frameBoxFree[k-1] = nil
-		n.frameBoxFree = n.frameBoxFree[:k-1]
-		return b
-	}
-	return &rccFrame{}
-}
-
 // getDataBox returns a recycled data-payload box.
 func (n *Network) getDataBox() *dataPayload {
+	n.dataOut++
 	if k := len(n.dataFree); k > 0 {
 		b := n.dataFree[k-1]
 		n.dataFree[k-1] = nil
@@ -202,8 +226,18 @@ func (n *Network) getDataBox() *dataPayload {
 }
 
 func (n *Network) putDataBox(p *dataPayload) {
+	n.dataOut--
 	*p = dataPayload{}
 	n.dataFree = append(n.dataFree, p)
+}
+
+// PoolOutstanding reports pooled objects currently checked out: RCC frame
+// buffers in flight between SendFrame and their Put, and data-payload boxes
+// between getDataBox and putDataBox. With the sim transport quiescent-idle
+// (nothing queued or propagating), both must equal the transport's in-transit
+// counts — the pool-balance invariant the storm test asserts.
+func (n *Network) PoolOutstanding() (frames, data int) {
+	return n.framePool.Outstanding(), n.dataOut
 }
 
 // getChanList returns an empty recycled channel-ID list for failure
@@ -242,16 +276,27 @@ type Stats struct {
 	DataDropped        uint64
 }
 
-// New builds the protocol engine over an established control plane. The
-// manager's connections get per-node channel state installed (P for
-// primaries, B for backups); data sources start on demand.
+// New builds the protocol engine over an established control plane, running
+// in simulated time with the zero-copy in-sim transport — the deterministic
+// configuration every simulation entry point uses.
 func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
+	return NewOn(eng, NewSimTransport(), mgr, cfg)
+}
+
+// NewOn builds the protocol engine against an explicit (Runtime, Transport)
+// pair: sim.Engine + SimTransport for deterministic runs, realtime.Runtime +
+// PipeTransport/UDPTransport for live ones. The manager's connections get
+// per-node channel state installed (P for primaries, B for backups); data
+// sources start on demand. Live callers must only touch the returned Network
+// from runtime-serialized context (actor callbacks, timers, Exec).
+func NewOn(rt runtime.Runtime, tr Transport, mgr *core.Manager, cfg Config) *Network {
 	if cfg.Scheme == 0 {
 		cfg.Scheme = Scheme3
 	}
 	g := mgr.Graph()
 	n := &Network{
-		eng:       eng,
+		rt:        rt,
+		tr:        tr,
 		mgr:       mgr,
 		cfg:       cfg,
 		links:     make([]*linkRuntime, g.NumLinks()),
@@ -269,24 +314,19 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 	}
 	// The resource plane shares the sink so claim-path events (claim,
 	// release, convert, preempt, rejoin re-registration) interleave with the
-	// protocol's, timestamped by the same engine.
-	mgr.SetProtocolTrace(cfg.Sink, eng)
+	// protocol's, timestamped by the same clock.
+	mgr.SetProtocolTrace(cfg.Sink, rt)
 	for i := range n.nodes {
 		n.nodes[i] = newDaemon(n, topology.NodeID(i))
 	}
 	for _, l := range g.Links() {
 		l := l
 		lr := &linkRuntime{id: l.ID}
-		lr.sl = sched.NewLink(eng, l.Capacity, cfg.PropDelay, cfg.MaxQueue, func(p sched.Packet) {
-			n.deliver(l, p)
-		})
 		// The endpoint for link l sends over l and receives frames that
 		// traversed the reverse link, delivering their controls to l.From.
 		rev := g.Reverse(l.ID)
 		send := func(frame []byte) {
-			box := n.getFrameBox()
-			box.data = frame
-			lr.sl.Enqueue(sched.Packet{Class: sched.ClassControl, Size: len(frame), Payload: box})
+			n.tr.SendFrame(l.ID, frame)
 		}
 		if tap := cfg.FrameTap; tap != nil {
 			inner := send
@@ -295,7 +335,7 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 				inner(frame)
 			}
 		}
-		lr.rccE = rcc.NewEndpoint(eng, cfg.RCC, send,
+		lr.rccE = rcc.NewEndpoint(rt, cfg.RCC, send,
 			func(c wireControl) {
 				d := n.nodes[l.From]
 				if n.em.Enabled() && !d.dead {
@@ -313,6 +353,7 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 		lr.rccE.SetBufferPool(n.framePool)
 		n.links[l.ID] = lr
 	}
+	tr.Attach(n)
 	// Install channel state for everything already established.
 	for _, conn := range mgr.Connections() {
 		n.installConnection(conn)
@@ -321,8 +362,18 @@ func New(eng *sim.Engine, mgr *core.Manager, cfg Config) *Network {
 	return n
 }
 
-// Engine returns the simulation engine.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Engine returns the simulation engine driving this network, or nil when it
+// runs on a different runtime (use Runtime then).
+func (n *Network) Engine() *sim.Engine {
+	e, _ := n.rt.(*sim.Engine)
+	return e
+}
+
+// Runtime returns the runtime driving this network.
+func (n *Network) Runtime() runtime.Runtime { return n.rt }
+
+// Transport returns the transport carrying this network's traffic.
+func (n *Network) Transport() Transport { return n.tr }
 
 // Manager returns the resource plane.
 func (n *Network) Manager() *core.Manager { return n.mgr }
@@ -357,7 +408,7 @@ func (n *Network) emitInstall(connID rtchan.ConnID, ch *rtchan.Channel, role tra
 		return
 	}
 	n.em.Emit(trace.Event{
-		At:      n.eng.Now(),
+		At:      n.rt.Now(),
 		Kind:    trace.KindInstall,
 		Node:    topology.NoNode,
 		Link:    topology.NoLink,
@@ -372,7 +423,7 @@ func (n *Network) emitInstall(connID rtchan.ConnID, ch *rtchan.Channel, role tra
 // n.em.Enabled().
 func (n *Network) emitHop(kind trace.Kind, l topology.LinkID, at topology.NodeID, ch rtchan.ChannelID) {
 	n.em.Emit(trace.Event{
-		At:      n.eng.Now(),
+		At:      n.rt.Now(),
 		Kind:    kind,
 		Node:    at,
 		Link:    l,
@@ -385,7 +436,7 @@ func (n *Network) emitHop(kind trace.Kind, l topology.LinkID, at topology.NodeID
 // n.em.Enabled().
 func (n *Network) emitChan(kind trace.Kind, node topology.NodeID, ch rtchan.ChannelID, aux int64) {
 	n.em.Emit(trace.Event{
-		At:      n.eng.Now(),
+		At:      n.rt.Now(),
 		Kind:    kind,
 		Node:    node,
 		Link:    topology.NoLink,
@@ -400,7 +451,7 @@ func (n *Network) emitChan(kind trace.Kind, node topology.NodeID, ch rtchan.Chan
 // N/P/B/U ordering, so the conversion is a cast.
 func (n *Network) emitState(node topology.NodeID, ch rtchan.ChannelID, from, to chanState) {
 	n.em.Emit(trace.Event{
-		At:      n.eng.Now(),
+		At:      n.rt.Now(),
 		Kind:    trace.KindState,
 		Node:    node,
 		Link:    topology.NoLink,
@@ -414,7 +465,7 @@ func (n *Network) emitState(node topology.NodeID, ch rtchan.ChannelID, from, to 
 // emitComponent records a component crash/repair; callers check Enabled().
 func (n *Network) emitComponent(kind trace.Kind, node topology.NodeID, link topology.LinkID) {
 	n.em.Emit(trace.Event{
-		At:   n.eng.Now(),
+		At:   n.rt.Now(),
 		Kind: kind,
 		Node: node,
 		Link: link,
@@ -456,7 +507,7 @@ func (n *Network) TeardownConnection(connID rtchan.ConnID) error {
 	n.StopTraffic(connID)
 	if n.em.Enabled() {
 		n.em.Emit(trace.Event{
-			At:   n.eng.Now(),
+			At:   n.rt.Now(),
 			Kind: trace.KindTeardown,
 			Node: conn.Src,
 			Link: topology.NoLink,
@@ -492,7 +543,7 @@ func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
 	if target <= 0 {
 		target = 1
 	}
-	n.eng.Schedule(n.cfg.ReplenishDelay, func() {
+	n.rt.Schedule(n.cfg.ReplenishDelay, func() {
 		conn := n.mgr.Connection(connID)
 		if conn == nil || conn.Primary == nil || len(conn.Backups) >= target {
 			return
@@ -520,30 +571,51 @@ func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
 	})
 }
 
-// deliver dispatches a packet arriving at the far end of link l.
-func (n *Network) deliver(l topology.Link, p sched.Packet) {
-	switch pl := p.Payload.(type) {
-	case *rccFrame:
-		// Control frames are handled by the receiving daemon's endpoint for
-		// the reverse direction (the endpoint pairs A->B sending with B->A
-		// reception).
-		rev := n.mgr.Graph().Reverse(l.ID)
-		if rev != topology.NoLink {
-			n.links[rev].rccE.HandleFrame(pl.data)
-		}
-		// The frame is consumed: recycle its buffer and box. (HandleFrame
-		// decodes into its own scratch and retains nothing.)
-		n.framePool.Put(pl.data)
-		pl.data = nil
-		n.frameBoxFree = append(n.frameBoxFree, pl)
-	case *dataPayload:
-		n.nodes[l.To].handleData(pl)
-	case heartbeatPayload:
-		n.heartbeatLastSeen[pl.link] = n.eng.Now()
-	default:
-		panic(fmt.Sprintf("bcpd: unknown payload %T", p.Payload))
+// deliverFrame dispatches a control frame that arrived at the far end of
+// link l: the receiving daemon's endpoint for the reverse direction handles
+// it (the endpoint pairs A->B sending with B->A reception), then the buffer
+// returns to the pool — HandleFrame decodes into its own scratch and retains
+// nothing. The transport relinquishes the buffer by calling this.
+func (n *Network) deliverFrame(l topology.LinkID, data []byte) {
+	rev := n.mgr.Graph().Reverse(l)
+	if rev != topology.NoLink {
+		n.links[rev].rccE.HandleFrame(data)
+	}
+	n.framePool.Put(data)
+}
+
+// deliverData dispatches a data message that arrived at the far end of link
+// l; ownership of the box passes to handleData, which recycles it on every
+// terminal path.
+func (n *Network) deliverData(l topology.LinkID, p *dataPayload) {
+	n.nodes[n.mgr.Graph().Link(l).To].handleData(p)
+}
+
+// deliverHeartbeat records a heartbeat arrival at the far end of link l.
+func (n *Network) deliverHeartbeat(l topology.LinkID) {
+	n.heartbeatLastSeen[l] = n.rt.Now()
+}
+
+// deliverForeignFrame handles a control frame that arrived in a buffer the
+// network's pool never issued (a UDP receive buffer): same dispatch as
+// deliverFrame, but the buffer is left to the GC rather than Put into the
+// pool, keeping the pool's Get/Put pairing exact.
+func (n *Network) deliverForeignFrame(l topology.LinkID, data []byte) {
+	rev := n.mgr.Graph().Reverse(l)
+	if rev != topology.NoLink {
+		n.links[rev].rccE.HandleFrame(data)
 	}
 }
+
+// reclaimFrame returns a frame buffer whose packet was dropped in transit
+// (down link, queue overflow) to the pool — the leak fix for the boxes that
+// used to ride dropped scheduler packets into the GC.
+func (n *Network) reclaimFrame(data []byte) { n.framePool.Put(data) }
+
+// reclaimData returns a data box whose packet was dropped in transit. Loss
+// accounting stays where it always was (sched.LinkStats); only the box comes
+// back.
+func (n *Network) reclaimData(p *dataPayload) { n.putDataBox(p) }
 
 // submitControl sends a control message from node v over link l's RCC.
 // The message is submitted even when the link is down: the RCC's hop-by-hop

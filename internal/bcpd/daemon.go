@@ -244,7 +244,7 @@ func (d *daemon) initiateSwitch(conn *core.DConnection) {
 			// connections claim spare bandwidth first.
 			b := b
 			wait := sim.Duration(d.net.mgr.DegreeOf(b.ID)) * unit
-			d.net.eng.Schedule(wait, func() {
+			d.net.rt.Schedule(wait, func() {
 				if d.dead || d.states[b.ID] != stateB || d.knownFailedBackups[b.ID] {
 					d.initiateSwitch(conn) // this serial died while waiting
 					return
@@ -451,7 +451,7 @@ func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
 	}
 	chID := ch.ID
 	connID := ch.Conn
-	d.rejoinTimers[chID] = d.net.eng.Schedule(d.net.cfg.RejoinTimeout, func() {
+	d.rejoinTimers[chID] = d.net.rt.Schedule(d.net.cfg.RejoinTimeout, func() {
 		if d.dead || d.states[chID] != stateU {
 			return
 		}
@@ -470,7 +470,7 @@ func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
 // the probe delay, if the channel is still unhealthy.
 func (d *daemon) scheduleRejoinProbe(ch *rtchan.Channel) {
 	chID := ch.ID
-	d.net.eng.Schedule(d.net.cfg.RejoinProbeDelay, func() {
+	d.net.rt.Schedule(d.net.cfg.RejoinProbeDelay, func() {
 		if d.dead || d.states[chID] != stateU {
 			return
 		}

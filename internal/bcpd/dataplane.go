@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"github.com/rtcl/bcp/internal/rtchan"
-	"github.com/rtcl/bcp/internal/sched"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
 	"github.com/rtcl/bcp/internal/trace"
@@ -73,7 +72,7 @@ func (s *source) emitLoop() {
 	}
 	s.emit()
 	interval := sim.Duration(float64(time.Second) / s.rate)
-	s.net.eng.Schedule(interval, s.emitFn)
+	s.net.rt.Schedule(interval, s.emitFn)
 }
 
 func (s *source) emit() {
@@ -90,10 +89,10 @@ func (s *source) emit() {
 	s.seq++
 	n.stats.DataSent++
 	pkt := n.getDataBox()
-	*pkt = dataPayload{conn: s.conn, ch: s.active, seq: s.seq, sent: n.eng.Now()}
+	*pkt = dataPayload{conn: s.conn, ch: s.active, seq: s.seq, sent: n.rt.Now()}
 	// The source forwards onto the first link of the active channel.
 	l := ch.Path.Links()[0]
-	n.links[l].sl.Enqueue(sched.Packet{Class: sched.ClassRealTime, Size: n.cfg.DataMsgSize, Payload: pkt})
+	n.tr.SendData(l, pkt)
 }
 
 // handleData forwards (or sinks) a data message arriving at this node. The
@@ -122,7 +121,7 @@ func (d *daemon) handleData(p *dataPayload) {
 		}
 		n.stats.DataDelivered++
 		sk.received++
-		sk.arrivals = append(sk.arrivals, n.eng.Now())
+		sk.arrivals = append(sk.arrivals, n.rt.Now())
 		if p.seq < sk.lastSeq {
 			sk.reordered++
 		}
@@ -137,7 +136,7 @@ func (d *daemon) handleData(p *dataPayload) {
 		return
 	}
 	l := ch.Path.Links()[idx]
-	n.links[l].sl.Enqueue(sched.Packet{Class: sched.ClassRealTime, Size: n.cfg.DataMsgSize, Payload: p})
+	n.tr.SendData(l, p)
 }
 
 // noteSourceSwitch redirects the connection's source to a newly activated
@@ -148,14 +147,14 @@ func (n *Network) noteSourceSwitch(connID rtchan.ConnID, ch rtchan.ChannelID) {
 		return
 	}
 	s.active = ch
-	s.switchedAt = append(s.switchedAt, n.eng.Now())
+	s.switchedAt = append(s.switchedAt, n.rt.Now())
 	if n.em.Enabled() {
 		node := topology.NoNode
 		if c := n.mgr.Network().Channel(ch); c != nil {
 			node = c.Path.Source()
 		}
 		n.em.Emit(trace.Event{
-			At:      n.eng.Now(),
+			At:      n.rt.Now(),
 			Kind:    trace.KindSourceSwitch,
 			Node:    node,
 			Link:    topology.NoLink,

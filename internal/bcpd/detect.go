@@ -1,7 +1,6 @@
 package bcpd
 
 import (
-	"github.com/rtcl/bcp/internal/sched"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
 	"github.com/rtcl/bcp/internal/trace"
@@ -36,29 +35,23 @@ func (n *Network) startHeartbeats() {
 		return
 	}
 	for _, l := range n.mgr.Graph().Links() {
-		n.heartbeatLastSeen[l.ID] = n.eng.Now()
+		n.heartbeatLastSeen[l.ID] = n.rt.Now()
 		n.emitHeartbeat(l.ID)
 		n.monitorHeartbeats(l.ID)
 	}
 }
 
-// emitHeartbeat starts link l's heartbeat loop: the packet payload is
-// boxed once and the rescheduling closure is built once, so each beat
-// costs only the enqueue. A dead daemon stops emitting — that is the
-// detection signal.
+// emitHeartbeat starts link l's heartbeat loop; the rescheduling closure is
+// built once, so each beat costs only the send. A dead daemon stops
+// emitting — that is the detection signal.
 func (n *Network) emitHeartbeat(l topology.LinkID) {
 	lk := n.mgr.Graph().Link(l)
-	payload := any(heartbeatPayload{link: l})
 	var tick func()
 	tick = func() {
 		if !n.nodes[lk.From].dead {
-			n.links[l].sl.Enqueue(sched.Packet{
-				Class:   sched.ClassControl,
-				Size:    heartbeatSize,
-				Payload: payload,
-			})
+			n.tr.SendHeartbeat(l)
 		}
-		n.eng.Schedule(n.cfg.HeartbeatInterval, tick)
+		n.rt.Schedule(n.cfg.HeartbeatInterval, tick)
 	}
 	tick()
 }
@@ -75,12 +68,12 @@ func (n *Network) monitorHeartbeats(l topology.LinkID) {
 	var check func()
 	check = func() {
 		to := n.nodes[lk.To]
-		if !to.dead && !n.declaredDown[l] && n.eng.Now().Sub(n.heartbeatLastSeen[l]) > deadline {
+		if !to.dead && !n.declaredDown[l] && n.rt.Now().Sub(n.heartbeatLastSeen[l]) > deadline {
 			n.declareLinkFailure(l)
 		}
-		n.eng.Schedule(n.cfg.HeartbeatInterval, check)
+		n.rt.Schedule(n.cfg.HeartbeatInterval, check)
 	}
-	n.eng.Schedule(n.cfg.HeartbeatInterval, check)
+	n.rt.Schedule(n.cfg.HeartbeatInterval, check)
 }
 
 // declareLinkFailure runs at link l's downstream node when heartbeats stop:

@@ -18,7 +18,7 @@ func (n *Network) FailLink(l topology.LinkID) {
 		return
 	}
 	lr.down = true
-	lr.sl.SetDown(true)
+	n.tr.SetLinkDown(l, true)
 	if n.em.Enabled() {
 		n.emitComponent(trace.KindLinkDown, topology.NoNode, l)
 	}
@@ -27,7 +27,7 @@ func (n *Network) FailLink(l topology.LinkID) {
 	}
 	lk := n.mgr.Graph().Link(l)
 	affected := append(n.getChanList(), n.mgr.Network().ChannelsOnLink(l)...)
-	n.eng.Schedule(n.cfg.DetectionLatency, func() {
+	n.rt.Schedule(n.cfg.DetectionLatency, func() {
 		for _, chID := range affected {
 			n.reportComponentFailure(chID, lk.From, lk.To)
 		}
@@ -43,12 +43,12 @@ func (n *Network) RepairLink(l topology.LinkID) {
 		return
 	}
 	lr.down = false
-	lr.sl.SetDown(false)
+	n.tr.SetLinkDown(l, false)
 	if n.em.Enabled() {
 		n.emitComponent(trace.KindLinkUp, topology.NoNode, l)
 	}
 	if n.cfg.HeartbeatInterval > 0 {
-		n.heartbeatLastSeen[l] = n.eng.Now()
+		n.heartbeatLastSeen[l] = n.rt.Now()
 		n.declaredDown[l] = false
 	}
 }
@@ -74,7 +74,7 @@ func (n *Network) FailNode(v topology.NodeID) {
 			n.emitComponent(trace.KindLinkDown, topology.NoNode, l)
 		}
 		n.links[l].down = true
-		n.links[l].sl.SetDown(true)
+		n.tr.SetLinkDown(l, true)
 	}
 	for _, l := range g.Out(v) {
 		downIncident(l)
@@ -86,7 +86,7 @@ func (n *Network) FailNode(v topology.NodeID) {
 		return // neighbors notice the silence on every incident link
 	}
 	affected := append(n.getChanList(), n.mgr.Network().ChannelsAtNode(v)...)
-	n.eng.Schedule(n.cfg.DetectionLatency, func() {
+	n.rt.Schedule(n.cfg.DetectionLatency, func() {
 		defer n.putChanList(affected)
 		for _, chID := range affected {
 			ch := n.mgr.Network().Channel(chID)

@@ -106,6 +106,20 @@ func TestProtocolStorm(t *testing.T) {
 			if st.ReportsGenerated == 0 || st.ActivationsStarted == 0 {
 				t.Fatalf("storm produced no protocol activity: %+v", st)
 			}
+			// Pool balance: every pooled payload checked out of the frame
+			// pool or data-box free list is accounted for inside the
+			// transport (queued, serializing, or propagating) — packets the
+			// scheduler dropped on down links and overflowing queues must
+			// have returned their buffers and boxes rather than leaked.
+			tr := net.Transport().(*SimTransport)
+			framesIn, dataIn := tr.InTransit()
+			framesOut, dataOut := net.PoolOutstanding()
+			if framesOut != framesIn {
+				t.Fatalf("frame-buffer leak: %d checked out of pool, %d in transit", framesOut, framesIn)
+			}
+			if dataOut != dataIn {
+				t.Fatalf("data-box leak: %d checked out, %d in transit", dataOut, dataIn)
+			}
 			// Every surviving connection is structurally sound: its
 			// channels exist in the registry with consistent roles.
 			for _, c := range mgr.Connections() {

@@ -1,0 +1,179 @@
+package bcpd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// PostFunc enqueues fn on a node's actor mailbox, reporting success. Live
+// transports deliver through it so every protocol callback runs
+// runtime-serialized; realtime.Runtime.Post has exactly this shape.
+type PostFunc func(node int, fn func()) bool
+
+// PipeTransport carries protocol traffic between live daemons through
+// in-memory pipes: one goroutine per simplex link holding messages for the
+// propagation delay, then posting delivery to the receiving node's actor
+// mailbox. It is the loss-free-wire live transport for tests and
+// cmd/bcplive — losses still happen at the edges (down links, full pipes,
+// full mailboxes), which is what the protocol is built to survive.
+//
+// Ownership: the pipe carries the pooled frame buffer itself (every Send and
+// delivery runs runtime-serialized, so the network's pools never see
+// concurrent access); a message dropped at send time is reclaimed on the
+// spot. A message dropped after leaving the sender (transport closing,
+// mailbox full) is abandoned to the GC and counted — its buffer cannot be
+// returned to the pool from an unserialized goroutine.
+type PipeTransport struct {
+	post  PostFunc
+	depth int // per-link pipe capacity
+
+	n     *Network
+	prop  time.Duration
+	pipes []chan pipeItem
+	down  []atomic.Bool
+
+	stop    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	dropped atomic.Uint64 // messages lost in transport (not link-down drops)
+}
+
+type pipeItem struct {
+	kind  uint8
+	frame []byte
+	data  *dataPayload
+	at    time.Time // delivery deadline (send time + propagation delay)
+}
+
+const (
+	pipeFrame     uint8 = 1
+	pipeData      uint8 = 2
+	pipeHeartbeat uint8 = 3
+)
+
+// NewPipeTransport creates a pipe transport delivering through post (a
+// realtime.Runtime's Post method). depth bounds each link's pipe (<=0 means
+// a generous default).
+func NewPipeTransport(post PostFunc, depth int) *PipeTransport {
+	if post == nil {
+		panic("bcpd: nil post")
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	return &PipeTransport{post: post, depth: depth, stop: make(chan struct{})}
+}
+
+// Attach builds one pipe per simplex link and starts its goroutine.
+func (t *PipeTransport) Attach(n *Network) {
+	t.n = n
+	t.prop = time.Duration(n.cfg.PropDelay)
+	g := n.mgr.Graph()
+	t.pipes = make([]chan pipeItem, g.NumLinks())
+	t.down = make([]atomic.Bool, g.NumLinks())
+	for _, l := range g.Links() {
+		ch := make(chan pipeItem, t.depth)
+		t.pipes[l.ID] = ch
+		t.wg.Add(1)
+		go t.run(l.ID, int(l.To), ch)
+	}
+}
+
+// run is one link's pipe: receive, hold until the propagation deadline,
+// post delivery to the destination node's mailbox.
+func (t *PipeTransport) run(l topology.LinkID, dest int, ch chan pipeItem) {
+	defer t.wg.Done()
+	hold := time.NewTimer(time.Hour)
+	defer hold.Stop()
+	for {
+		var it pipeItem
+		select {
+		case <-t.stop:
+			return
+		case it = <-ch:
+		}
+		if d := time.Until(it.at); d > 0 {
+			hold.Reset(d)
+			select {
+			case <-t.stop:
+				return
+			case <-hold.C:
+			}
+		}
+		n := t.n
+		var ok bool
+		switch it.kind {
+		case pipeFrame:
+			frame := it.frame
+			ok = t.post(dest, func() { n.deliverFrame(l, frame) })
+		case pipeData:
+			data := it.data
+			ok = t.post(dest, func() { n.deliverData(l, data) })
+		case pipeHeartbeat:
+			ok = t.post(dest, func() { n.deliverHeartbeat(l) })
+		}
+		if !ok {
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// offer submits an item to link l's pipe from runtime-serialized context,
+// reporting acceptance. A down link or full pipe refuses; the caller
+// reclaims the payload.
+func (t *PipeTransport) offer(l topology.LinkID, it pipeItem) bool {
+	if t.down[l].Load() || t.closed.Load() {
+		return false
+	}
+	it.at = time.Now().Add(t.prop)
+	select {
+	case t.pipes[l] <- it:
+		return true
+	default:
+		t.dropped.Add(1)
+		return false
+	}
+}
+
+// SendFrame submits a control frame; refused frames return their buffer to
+// the pool immediately (the send side runs runtime-serialized).
+func (t *PipeTransport) SendFrame(l topology.LinkID, frame []byte) {
+	if !t.offer(l, pipeItem{kind: pipeFrame, frame: frame}) {
+		t.n.reclaimFrame(frame)
+	}
+}
+
+// SendData submits a data message; refused boxes are reclaimed immediately.
+func (t *PipeTransport) SendData(l topology.LinkID, p *dataPayload) {
+	if !t.offer(l, pipeItem{kind: pipeData, data: p}) {
+		t.n.reclaimData(p)
+	}
+}
+
+// SendHeartbeat submits a heartbeat; heartbeats carry nothing pooled.
+func (t *PipeTransport) SendHeartbeat(l topology.LinkID) {
+	t.offer(l, pipeItem{kind: pipeHeartbeat})
+}
+
+// SetLinkDown fails or repairs link l. Unlike the sim transmitter there is
+// no queue to clear: messages already in the pipe left the sender before the
+// crash and still arrive, like the sim's in-propagation flight queue.
+func (t *PipeTransport) SetLinkDown(l topology.LinkID, down bool) { t.down[l].Store(down) }
+
+// Dropped returns messages lost inside the transport (full pipes, delivery
+// refused by a full or stopping mailbox). Link-down drops are not counted
+// here — they are the crash model, accounted at the send sites.
+func (t *PipeTransport) Dropped() uint64 { return t.dropped.Load() }
+
+// Close stops every pipe goroutine. Call before stopping the runtime; items
+// still in pipes are abandoned to the GC.
+func (t *PipeTransport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(t.stop)
+	t.wg.Wait()
+}

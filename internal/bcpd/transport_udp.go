@@ -1,0 +1,189 @@
+package bcpd
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/wire"
+)
+
+// UDPTransport carries protocol traffic between live daemons as real
+// datagrams: one loopback UDP socket per node, every message marshaled into
+// the wire package's datagram envelope, one reader goroutine per node
+// posting deliveries to its actor mailbox. Unlike the pipe transport the
+// wire itself can drop and reorder — rcc's seq/ACK/retransmission machinery
+// does real work here.
+//
+// Ownership: SendFrame serializes into a per-transport scratch buffer and
+// returns the pooled frame to the network immediately (sends run
+// runtime-serialized, so one scratch suffices). Received frames are handed
+// to the daemons in per-datagram buffers owned by the GC — the receive path
+// is not allocation-pinned.
+type UDPTransport struct {
+	post PostFunc
+
+	n     *Network
+	conns []*net.UDPConn // one socket per node
+	addrs []*net.UDPAddr // conns[i].LocalAddr, resolved
+	dest  []int          // link id -> destination node
+	down  []atomic.Bool
+
+	tx []byte // marshal scratch; sends are runtime-serialized
+
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	dropped atomic.Uint64 // messages lost in transport (not link-down drops)
+}
+
+// NewUDPTransport creates a UDP transport delivering through post (a
+// realtime.Runtime's Post method). Sockets are opened at Attach.
+func NewUDPTransport(post PostFunc) *UDPTransport {
+	if post == nil {
+		panic("bcpd: nil post")
+	}
+	return &UDPTransport{post: post}
+}
+
+// Attach opens one loopback socket per node and starts the readers.
+func (t *UDPTransport) Attach(n *Network) {
+	t.n = n
+	g := n.mgr.Graph()
+	t.conns = make([]*net.UDPConn, g.NumNodes())
+	t.addrs = make([]*net.UDPAddr, g.NumNodes())
+	for v := range t.conns {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			panic(fmt.Sprintf("bcpd: udp listen: %v", err))
+		}
+		t.conns[v] = c
+		t.addrs[v] = c.LocalAddr().(*net.UDPAddr)
+	}
+	t.dest = make([]int, g.NumLinks())
+	t.down = make([]atomic.Bool, g.NumLinks())
+	for _, l := range g.Links() {
+		t.dest[l.ID] = int(l.To)
+	}
+	for v, c := range t.conns {
+		t.wg.Add(1)
+		go t.read(v, c)
+	}
+}
+
+// sendTo marshals and transmits one datagram over link l from
+// runtime-serialized context, reporting acceptance (a down link refuses).
+func (t *UDPTransport) sendTo(l topology.LinkID, kind uint8, payload func([]byte) []byte) bool {
+	if t.down[l].Load() || t.closed.Load() {
+		return false
+	}
+	b := wire.AppendDatagramHeader(t.tx[:0], kind, uint32(l))
+	if payload != nil {
+		b = payload(b)
+	}
+	_, err := t.conns[int(t.n.mgr.Graph().Link(l).From)].WriteToUDP(b, t.addrs[t.dest[l]])
+	t.tx = b[:0]
+	if err != nil {
+		t.dropped.Add(1) // accepted by the transport, lost on the wire
+	}
+	return true
+}
+
+// SendFrame transmits a control frame and returns its pooled buffer
+// immediately — the datagram carries a copy.
+func (t *UDPTransport) SendFrame(l topology.LinkID, frame []byte) {
+	t.sendTo(l, wire.DgramFrame, func(b []byte) []byte { return append(b, frame...) })
+	t.n.reclaimFrame(frame)
+}
+
+// SendData transmits a data message and reclaims its box immediately.
+func (t *UDPTransport) SendData(l topology.LinkID, p *dataPayload) {
+	t.sendTo(l, wire.DgramData, func(b []byte) []byte {
+		return wire.DataMsg{
+			Conn:      int64(p.conn),
+			Channel:   int64(p.ch),
+			Seq:       p.seq,
+			SentNanos: int64(p.sent),
+		}.AppendTo(b)
+	})
+	t.n.reclaimData(p)
+}
+
+// SendHeartbeat transmits a heartbeat datagram.
+func (t *UDPTransport) SendHeartbeat(l topology.LinkID) {
+	t.sendTo(l, wire.DgramHeartbeat, nil)
+}
+
+// SetLinkDown fails or repairs link l; a down link drops at the send side.
+func (t *UDPTransport) SetLinkDown(l topology.LinkID, down bool) { t.down[l].Store(down) }
+
+// read is node v's receive loop: parse the envelope, post delivery to the
+// node's mailbox. Malformed datagrams are dropped — on a real wire that is
+// loss, and retransmission recovers control traffic.
+func (t *UDPTransport) read(v int, c *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := c.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		kind, link, payload, err := wire.ParseDatagramHeader(buf[:sz])
+		if err != nil {
+			t.dropped.Add(1)
+			continue
+		}
+		l := topology.LinkID(link)
+		if int(l) >= len(t.dest) || t.dest[l] != v {
+			t.dropped.Add(1)
+			continue // misaddressed
+		}
+		n := t.n
+		var ok bool
+		switch kind {
+		case wire.DgramFrame:
+			data := append([]byte(nil), payload...)
+			ok = t.post(v, func() { n.deliverForeignFrame(l, data) })
+		case wire.DgramData:
+			m, perr := wire.ParseDataMsg(payload)
+			if perr != nil {
+				t.dropped.Add(1)
+				continue
+			}
+			ok = t.post(v, func() {
+				p := n.getDataBox()
+				*p = dataPayload{
+					conn: rtchan.ConnID(m.Conn),
+					ch:   rtchan.ChannelID(m.Channel),
+					seq:  m.Seq,
+					sent: sim.Time(m.SentNanos),
+				}
+				n.deliverData(l, p)
+			})
+		case wire.DgramHeartbeat:
+			ok = t.post(v, func() { n.deliverHeartbeat(l) })
+		}
+		if !ok {
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// Dropped returns messages lost inside the transport (send errors, malformed
+// or misaddressed datagrams, delivery refused by a full mailbox).
+func (t *UDPTransport) Dropped() uint64 { return t.dropped.Load() }
+
+// Close shuts the sockets, stopping the readers. Call before stopping the
+// runtime.
+func (t *UDPTransport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.wg.Wait()
+}

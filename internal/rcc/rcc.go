@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/rtcl/bcp/internal/runtime"
 	"github.com/rtcl/bcp/internal/sim"
 	"github.com/rtcl/bcp/internal/topology"
 	"github.com/rtcl/bcp/internal/trace"
@@ -48,23 +49,37 @@ func DefaultParams() Params {
 	}
 }
 
-// BufferPool recycles marshaled frame buffers. It is a plain free list —
-// the simulated world is single-threaded, so no synchronization is needed.
-// A nil *BufferPool is valid and degrades to plain allocation, which keeps
-// standalone endpoints (tests, fuzzers) working unchanged.
+// BufferPool recycles marshaled frame buffers. It is a plain free list with
+// no synchronization of its own: in the simulated world everything is
+// single-threaded, and under the wall-clock runtime every Get/Put site runs
+// inside the runtime's serialized execution context, which is the same
+// guarantee. A nil *BufferPool is valid and degrades to plain allocation,
+// which keeps standalone endpoints (tests, fuzzers) working unchanged.
 //
 // Ownership protocol: the endpoint Gets a buffer at marshal time and hands
 // it to the send callback; whoever ultimately consumes the frame (the
-// receiving daemon, after HandleFrame) Puts it back. A frame dropped in
-// flight simply leaks to the garbage collector — never Put a buffer twice.
+// receiving daemon, after HandleFrame, or the transport's drop path) Puts it
+// back — never twice. Outstanding tracks Get/Put pairing so pool-balance
+// tests can prove dropped frames are reclaimed rather than leaked.
 type BufferPool struct {
 	free [][]byte
+	out  int // buffers handed out and not yet returned
+}
+
+// Outstanding returns the number of buffers currently checked out (Gets
+// minus Puts). Zero-capacity Puts are not counted, matching Put.
+func (p *BufferPool) Outstanding() int {
+	if p == nil {
+		return 0
+	}
+	return p.out
 }
 
 // Get returns an empty buffer with at least sizeHint capacity when the pool
 // has one; otherwise it allocates.
 func (p *BufferPool) Get(sizeHint int) []byte {
 	if p != nil {
+		p.out++
 		if n := len(p.free); n > 0 {
 			b := p.free[n-1]
 			p.free[n-1] = nil
@@ -84,6 +99,7 @@ func (p *BufferPool) Put(b []byte) {
 	if p == nil || cap(b) == 0 {
 		return
 	}
+	p.out--
 	p.free = append(p.free, b[:0])
 }
 
@@ -102,7 +118,7 @@ type Stats struct {
 // Endpoint is one direction of an RCC: the sender state at the upstream
 // daemon plus the receiver state for the reverse direction's ACKs.
 type Endpoint struct {
-	eng  *sim.Engine
+	eng  runtime.Runtime
 	p    Params
 	send func([]byte)       // hand a marshaled frame to the link layer
 	recv func(wire.Control) // upcall for each delivered control message
@@ -150,10 +166,11 @@ type sentFrame struct {
 	controls []wire.Control
 }
 
-// NewEndpoint creates an RCC endpoint. send transmits a marshaled frame over
-// the underlying link; recv receives each control message exactly once, in
-// order.
-func NewEndpoint(eng *sim.Engine, p Params, send func([]byte), recv func(wire.Control)) *Endpoint {
+// NewEndpoint creates an RCC endpoint on the given runtime (sim.Engine for
+// deterministic runs, realtime.Runtime for live ones). send transmits a
+// marshaled frame over the underlying link; recv receives each control
+// message exactly once, in order.
+func NewEndpoint(eng runtime.Runtime, p Params, send func([]byte), recv func(wire.Control)) *Endpoint {
 	if wire.MaxControlsForBudget(p.SMax) < 1 {
 		panic(fmt.Sprintf("rcc: SMax %d cannot fit a control message", p.SMax))
 	}

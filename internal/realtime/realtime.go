@@ -1,0 +1,398 @@
+// Package realtime executes the protocol stack on the wall clock. It is the
+// live sibling of sim.Engine behind the runtime.Runtime seam: the same daemon
+// code, the same sim.Timer handles, the same release-before-fire and
+// Stop-prevents-fire semantics — but deadlines come from the monotonic clock
+// and delivery happens on real goroutines.
+//
+// # Execution model
+//
+// The runtime hosts per-node actors: one goroutine per node draining a
+// bounded mailbox of closures (transport deliveries, injected operations).
+// Actor goroutines and the timer goroutine all execute protocol callbacks
+// under one execution lock (mu), so from the protocol's point of view the
+// world is still single-threaded — Network/Manager state is shared across
+// nodes in this reproduction, and the lock preserves the invariant the sim
+// gives for free. The actor boundary still buys what the paper's deployment
+// needs: bounded per-node queues with drop-on-overflow backpressure (RCC
+// retransmission recovers dropped control traffic), and no transport
+// goroutine ever touches protocol state directly.
+//
+// # Timers
+//
+// The timer arena is the PR-6 design verbatim: an index-based 4-ary min-heap
+// over pooled, generation-stamped slots, value sim.Timer handles, O(log n)
+// Stop, release-before-fire so a callback can re-arm into its own slot. A
+// single timer goroutine sleeps until the earliest deadline, then fires due
+// events under the execution lock; because popping happens with both locks
+// held, Stop returning true still guarantees the callback never runs.
+//
+// # Shutdown
+//
+// Stop closes a shared stop channel and waits for the timer and actor
+// goroutines. Mailbox channels are never closed — senders race shutdown, and
+// a send on a closed channel would panic — instead Post observes the stop
+// channel and reports the drop. Stop must not be called from a protocol
+// callback (it would deadlock on its own execution lock).
+package realtime
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rtcl/bcp/internal/runtime"
+	"github.com/rtcl/bcp/internal/sim"
+)
+
+// The wall-clock runtime stands wherever sim.Engine does.
+var _ runtime.Runtime = (*Runtime)(nil)
+
+// timerSlot mirrors sim's arena entry: generation-stamped so stale handles
+// read as dead, with the slot's heap position tracked for O(log n) removal.
+type timerSlot struct {
+	at        sim.Time
+	seq       uint64
+	fn        func()
+	gen       uint32
+	pos       int32 // index in Runtime.heap; -1 when not queued
+	prevFired bool
+}
+
+// Runtime drives protocol daemons on the wall clock. Create with New, start
+// actors with StartActors, and always Stop it (not from a protocol callback).
+type Runtime struct {
+	start time.Time // monotonic epoch; Now() is nanoseconds since here
+
+	// mu is the execution lock: every protocol callback — timer fire, actor
+	// mailbox item, Exec closure — runs under it. tmu guards the timer arena
+	// only. Lock order is mu before tmu; Schedule/At/Stop take only tmu so
+	// callbacks already holding mu can re-arm and cancel timers.
+	mu  sync.Mutex
+	tmu sync.Mutex
+
+	slots []timerSlot
+	free  []int32 // recycled arena slots
+	heap  []int32 // 4-ary min-heap of slot indices, ordered by (at, seq)
+	seq   uint64
+
+	rng *rand.Rand // only touched under mu (runtime-serialized callbacks)
+
+	wake    chan struct{} // kicks the timer goroutine when an earlier deadline arrives
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	mailboxes []chan func()
+	dropped   atomic.Uint64 // mailbox posts refused (full or stopping)
+}
+
+// New creates a runtime with a seeded random source and starts its timer
+// goroutine. The caller owns the lifecycle and must call Stop.
+func New(seed int64) *Runtime {
+	r := &Runtime{
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.timerLoop()
+	return r
+}
+
+// Now returns monotonic nanoseconds since the runtime started.
+func (r *Runtime) Now() sim.Time { return sim.Time(time.Since(r.start)) }
+
+// RNG returns the runtime's random source; safe only from runtime-serialized
+// callbacks (or under Exec).
+func (r *Runtime) RNG() *rand.Rand { return r.rng }
+
+// Schedule runs fn after delay d. Negative delays are clamped to zero: the
+// wall clock cannot fire in the past, and live callers (unlike sim scripts)
+// may compute small negative slacks from measured times.
+func (r *Runtime) Schedule(d sim.Duration, fn func()) sim.Timer {
+	if d < 0 {
+		d = 0
+	}
+	return r.At(r.Now().Add(d), fn)
+}
+
+// At runs fn at absolute runtime-clock time t, clamped to now.
+func (r *Runtime) At(t sim.Time, fn func()) sim.Timer {
+	if fn == nil {
+		panic("realtime: nil event function")
+	}
+	r.tmu.Lock()
+	var idx int32
+	if n := len(r.free); n > 0 {
+		idx = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		r.slots = append(r.slots, timerSlot{})
+		idx = int32(len(r.slots) - 1)
+	}
+	s := &r.slots[idx]
+	s.at = t
+	s.seq = r.seq
+	s.fn = fn
+	r.seq++
+	s.pos = int32(len(r.heap))
+	r.heap = append(r.heap, idx)
+	r.siftUp(int(s.pos))
+	gen := s.gen
+	becameEarliest := r.heap[0] == idx
+	r.tmu.Unlock()
+
+	if becameEarliest {
+		// The new deadline may precede what the timer goroutine is sleeping
+		// toward; nudge it to recompute.
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return sim.MakeTimer(r, idx, gen, t)
+}
+
+// StopTimer implements sim.TimerHost: cancel the (idx, gen) slot if that
+// generation is still pending. Because due timers are popped with both mu
+// and tmu held, a true return guarantees the callback will not run.
+func (r *Runtime) StopTimer(idx int32, gen uint32) bool {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	s := &r.slots[idx]
+	if s.gen != gen {
+		return false // already fired or stopped
+	}
+	r.removeAt(int(s.pos))
+	r.release(idx, false)
+	return true
+}
+
+// TimerActive implements sim.TimerHost.
+func (r *Runtime) TimerActive(idx int32, gen uint32) bool {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	return r.slots[idx].gen == gen
+}
+
+// TimerFired implements sim.TimerHost.
+func (r *Runtime) TimerFired(idx int32, gen uint32) bool {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	s := &r.slots[idx]
+	if s.gen == gen {
+		return false // still pending
+	}
+	return s.prevFired
+}
+
+// release retires slot idx's current generation and recycles it. Caller
+// holds tmu.
+func (r *Runtime) release(idx int32, fired bool) {
+	s := &r.slots[idx]
+	s.fn = nil
+	s.pos = -1
+	s.prevFired = fired
+	s.gen++
+	r.free = append(r.free, idx)
+}
+
+func (r *Runtime) less(a, b int32) bool {
+	sa, sb := &r.slots[a], &r.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (r *Runtime) siftUp(i int) {
+	item := r.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := r.heap[parent]
+		if !r.less(item, p) {
+			break
+		}
+		r.heap[i] = p
+		r.slots[p].pos = int32(i)
+		i = parent
+	}
+	r.heap[i] = item
+	r.slots[item].pos = int32(i)
+}
+
+func (r *Runtime) siftDown(i int) {
+	n := len(r.heap)
+	item := r.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if r.less(r.heap[c], r.heap[best]) {
+				best = c
+			}
+		}
+		if !r.less(r.heap[best], item) {
+			break
+		}
+		r.heap[i] = r.heap[best]
+		r.slots[r.heap[i]].pos = int32(i)
+		i = best
+	}
+	r.heap[i] = item
+	r.slots[item].pos = int32(i)
+}
+
+func (r *Runtime) removeAt(i int) {
+	n := len(r.heap) - 1
+	last := r.heap[n]
+	r.heap = r.heap[:n]
+	if i == n {
+		return
+	}
+	r.heap[i] = last
+	r.slots[last].pos = int32(i)
+	r.siftDown(i)
+	r.siftUp(int(r.slots[last].pos))
+}
+
+// timerLoop sleeps until the earliest deadline, then fires everything due.
+// Firing takes mu first, then tmu (the global lock order), pops and releases
+// each due slot, drops tmu, and runs the callbacks still under mu — so a
+// protocol callback holding mu can never observe a popped-but-unrun timer,
+// and release-before-fire lets callbacks re-arm into their own slot.
+func (r *Runtime) timerLoop() {
+	defer r.wg.Done()
+	wait := time.NewTimer(time.Hour)
+	defer wait.Stop()
+	var due []func() // reused across rounds
+	for {
+		r.tmu.Lock()
+		var sleep time.Duration
+		if len(r.heap) == 0 {
+			sleep = time.Hour
+		} else {
+			sleep = time.Duration(r.slots[r.heap[0]].at - r.Now())
+			if sleep < 0 {
+				sleep = 0
+			}
+		}
+		r.tmu.Unlock()
+
+		if !wait.Stop() {
+			select {
+			case <-wait.C:
+			default:
+			}
+		}
+		wait.Reset(sleep)
+		select {
+		case <-r.stop:
+			return
+		case <-r.wake:
+			continue // earlier deadline arrived; recompute the sleep
+		case <-wait.C:
+		}
+
+		r.mu.Lock()
+		r.tmu.Lock()
+		now := r.Now()
+		for len(r.heap) > 0 && r.slots[r.heap[0]].at <= now {
+			idx := r.heap[0]
+			fn := r.slots[idx].fn
+			r.removeAt(0)
+			r.release(idx, true)
+			due = append(due, fn)
+		}
+		r.tmu.Unlock()
+		for i, fn := range due {
+			fn()
+			due[i] = nil
+		}
+		due = due[:0]
+		r.mu.Unlock()
+	}
+}
+
+// StartActors creates n per-node mailboxes of the given capacity and starts
+// one goroutine per node to drain them. Call once, before traffic flows.
+func (r *Runtime) StartActors(n, mailbox int) {
+	if r.mailboxes != nil {
+		panic("realtime: StartActors called twice")
+	}
+	if mailbox < 1 {
+		mailbox = 1
+	}
+	r.mailboxes = make([]chan func(), n)
+	for i := range r.mailboxes {
+		mb := make(chan func(), mailbox)
+		r.mailboxes[i] = mb
+		r.wg.Add(1)
+		go r.actorLoop(mb)
+	}
+}
+
+func (r *Runtime) actorLoop(mb chan func()) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case fn := <-mb:
+			r.mu.Lock()
+			fn()
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Post enqueues fn on node's mailbox, reporting success. It never blocks: a
+// full mailbox or a stopping runtime drops the item (counted; RCC
+// retransmission recovers dropped control traffic, and data loss is the
+// condition the protocol is built to survive).
+func (r *Runtime) Post(node int, fn func()) bool {
+	if r.stopped.Load() {
+		r.dropped.Add(1)
+		return false
+	}
+	select {
+	case r.mailboxes[node] <- fn:
+		return true
+	default:
+		r.dropped.Add(1)
+		return false
+	}
+}
+
+// Exec runs fn under the execution lock, serialized with every timer and
+// actor callback. External goroutines (tests, cmd/bcplive) use it to touch
+// protocol state safely. Never call it from inside a protocol callback.
+func (r *Runtime) Exec(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
+// Dropped returns how many mailbox posts were refused.
+func (r *Runtime) Dropped() uint64 { return r.dropped.Load() }
+
+// Stop shuts the runtime down: no further timers fire, actors drain nothing
+// more, and all runtime goroutines have exited when it returns. Safe to call
+// once, from outside any protocol callback. Pending mailbox items and timers
+// are discarded.
+func (r *Runtime) Stop() {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(r.stop)
+	r.wg.Wait()
+}

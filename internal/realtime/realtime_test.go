@@ -1,0 +1,163 @@
+package realtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimerFiresInOrder checks that timers armed out of order fire in
+// deadline order, serialized on the execution lock.
+func TestTimerFiresInOrder(t *testing.T) {
+	r := New(1)
+	defer r.Stop()
+
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	add := func(v int) func() {
+		return func() {
+			mu.Lock()
+			got = append(got, v)
+			n := len(got)
+			mu.Unlock()
+			if n == 3 {
+				close(done)
+			}
+		}
+	}
+	r.Schedule(30*time.Millisecond, add(3))
+	r.Schedule(10*time.Millisecond, add(1))
+	r.Schedule(20*time.Millisecond, add(2))
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timers did not fire")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order %v, want [1 2 3]", got)
+	}
+}
+
+// TestStopPreventsFire checks the sim contract: a Stop that returns true
+// means the callback never runs, and the handle reads dead afterwards.
+func TestStopPreventsFire(t *testing.T) {
+	r := New(1)
+	defer r.Stop()
+
+	var fired atomic.Bool
+	tm := r.Schedule(50*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Active() {
+		t.Fatal("pending timer should be active")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer should return true")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer should be inactive")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should be a no-op")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired anyway")
+	}
+	if tm.Fired() {
+		t.Fatal("stopped timer reports Fired")
+	}
+}
+
+// TestRearmFromCallback checks release-before-fire: a callback can re-arm a
+// periodic timer, recycling its own arena slot, and the old handle is dead.
+func TestRearmFromCallback(t *testing.T) {
+	r := New(1)
+	defer r.Stop()
+
+	var n atomic.Int32
+	done := make(chan struct{})
+	var tick func()
+	tick = func() {
+		if n.Add(1) < 5 {
+			r.Schedule(5*time.Millisecond, tick)
+		} else {
+			close(done)
+		}
+	}
+	tm := r.Schedule(5*time.Millisecond, tick)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("re-armed timer stalled at %d ticks", n.Load())
+	}
+	if !tm.Fired() {
+		t.Fatal("first generation should report Fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on a fired handle must not cancel a later generation")
+	}
+}
+
+// TestActorsSerializeAndDrop checks that posts execute under the execution
+// lock (no data race on the shared counter without it) and that a full
+// mailbox drops rather than blocks.
+func TestActorsSerializeAndDrop(t *testing.T) {
+	r := New(1)
+	defer r.Stop()
+	r.StartActors(4, 64)
+
+	var wg sync.WaitGroup
+	counter := 0 // protected only by the runtime's execution lock
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if r.Post(node, func() { counter++ }) {
+					accepted.Add(1)
+				}
+			}
+		}(g % 4)
+	}
+	wg.Wait()
+
+	// Drain: executed count must eventually equal accepted count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var c int
+		r.Exec(func() { c = counter })
+		if int64(c) == accepted.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("executed %d of %d accepted posts", c, accepted.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if accepted.Load()+int64(r.Dropped()) != 8*200 {
+		t.Fatalf("accepted %d + dropped %d != 1600", accepted.Load(), r.Dropped())
+	}
+}
+
+// TestStopIsCleanAndIdempotent checks that Stop returns with all runtime
+// goroutines finished and that posting after Stop is a counted drop, not a
+// panic.
+func TestStopIsCleanAndIdempotent(t *testing.T) {
+	r := New(1)
+	r.StartActors(8, 16)
+	for i := 0; i < 8; i++ {
+		r.Post(i, func() {})
+	}
+	r.Schedule(time.Hour, func() { t.Error("distant timer fired during stop") })
+	r.Stop()
+	r.Stop() // idempotent
+	if r.Post(0, func() { t.Error("post after Stop executed") }) {
+		t.Fatal("Post after Stop should report failure")
+	}
+	time.Sleep(20 * time.Millisecond)
+}

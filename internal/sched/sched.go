@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/rtcl/bcp/internal/runtime"
 	"github.com/rtcl/bcp/internal/sim"
 )
 
@@ -98,10 +99,11 @@ func (cq *classQueue) clear() {
 // propagation live in cur and the flight queue rather than in per-event
 // closures, so a busy link schedules events without allocating.
 type Link struct {
-	eng     *sim.Engine
+	eng     runtime.Runtime
 	bps     float64 // capacity in bits/second
 	prop    sim.Duration
 	deliver func(Packet)
+	onDrop  func(Packet) // observes every dropped packet; nil = silent drop
 
 	queues   [numClasses]classQueue
 	maxQueue int
@@ -119,7 +121,7 @@ type Link struct {
 // Mbps (1e6 bits/s); prop is the propagation delay; deliver is invoked in
 // simulated time when a packet reaches the far end. maxQueue bounds each
 // class queue (0 = unbounded).
-func NewLink(eng *sim.Engine, capacityMbps float64, prop sim.Duration, maxQueue int, deliver func(Packet)) *Link {
+func NewLink(eng runtime.Runtime, capacityMbps float64, prop sim.Duration, maxQueue int, deliver func(Packet)) *Link {
 	if capacityMbps <= 0 {
 		panic("sched: non-positive capacity")
 	}
@@ -136,6 +138,8 @@ func NewLink(eng *sim.Engine, capacityMbps float64, prop sim.Duration, maxQueue 
 			l.eng.Schedule(l.prop, l.deliverFn)
 		} else {
 			l.stats.DroppedDown++
+			l.drop(l.cur)
+			l.cur = Packet{}
 		}
 		l.startNext()
 	}
@@ -150,6 +154,18 @@ func NewLink(eng *sim.Engine, capacityMbps float64, prop sim.Duration, maxQueue 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
+// SetDropHandler registers h to observe every packet the link drops (link
+// down, class-queue overflow, queue clear on failure). The caller uses it to
+// reclaim pooled payloads that would otherwise leak when their packet is
+// lost. h runs synchronously at the drop site; it must not re-enter the link.
+func (l *Link) SetDropHandler(h func(Packet)) { l.onDrop = h }
+
+func (l *Link) drop(p Packet) {
+	if l.onDrop != nil {
+		l.onDrop(p)
+	}
+}
+
 // Down reports whether the link is failed.
 func (l *Link) Down() bool { return l.down }
 
@@ -163,9 +179,34 @@ func (l *Link) SetDown(down bool) {
 		// flight queue) still arrive — they left the transmitter before the
 		// crash.
 		for c := range l.queues {
-			l.stats.DroppedDown += uint64(l.queues[c].len())
-			l.queues[c].clear()
+			cq := &l.queues[c]
+			l.stats.DroppedDown += uint64(cq.len())
+			if l.onDrop != nil {
+				for i := cq.head; i < len(cq.q); i++ {
+					l.onDrop(cq.q[i])
+				}
+			}
+			cq.clear()
 		}
+	}
+}
+
+// Each visits every packet currently inside the transmitter: queued, being
+// serialized, and in propagation. A packet being serialized when the link
+// went down is included — it is still owned by the link until its
+// transmission completes and the drop handler reclaims it.
+func (l *Link) Each(fn func(Packet)) {
+	for c := range l.queues {
+		cq := &l.queues[c]
+		for i := cq.head; i < len(cq.q); i++ {
+			fn(cq.q[i])
+		}
+	}
+	if l.busy {
+		fn(l.cur)
+	}
+	for i := l.flight.head; i < len(l.flight.q); i++ {
+		fn(l.flight.q[i])
 	}
 }
 
@@ -188,10 +229,12 @@ func (l *Link) Enqueue(p Packet) {
 	}
 	if l.down {
 		l.stats.DroppedDown++
+		l.drop(p)
 		return
 	}
 	if l.maxQueue > 0 && l.queues[p.Class].len() >= l.maxQueue {
 		l.stats.DroppedQueue++
+		l.drop(p)
 		return
 	}
 	l.stats.Enqueued++

@@ -38,16 +38,39 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 
 func (t Time) String() string { return Duration(t).String() }
 
+// TimerHost is the issuing runtime's side of a Timer handle: the three
+// queries a handle needs against the arena slot it names. *Engine implements
+// it for simulated time; internal/realtime implements it over a wall-clock
+// heap with the same generation-stamp semantics, so protocol code holds one
+// Timer type regardless of which runtime issued it.
+type TimerHost interface {
+	// StopTimer cancels the (idx, gen) slot if that generation is still
+	// pending, reporting whether the cancellation prevented the fire.
+	StopTimer(idx int32, gen uint32) bool
+	// TimerActive reports whether the (idx, gen) slot is still pending.
+	TimerActive(idx int32, gen uint32) bool
+	// TimerFired reports how the (idx, gen) slot's generation ended; exact
+	// until the host reuses the slot a second time.
+	TimerFired(idx int32, gen uint32) bool
+}
+
 // Timer is a handle to a scheduled event: an arena slot index plus the
 // generation stamp the slot carried when the event was scheduled. The zero
 // Timer is inactive; handles are values and may be copied freely. A Timer
 // may be stopped before it fires; stopping a fired or already-stopped timer
 // is a no-op.
 type Timer struct {
-	eng *Engine
-	idx int32
-	gen uint32
-	at  Time
+	host TimerHost
+	idx  int32
+	gen  uint32
+	at   Time
+}
+
+// MakeTimer builds a handle for a sibling TimerHost implementation (the
+// wall-clock runtime). Simulation code never needs it: Engine issues its own
+// handles.
+func MakeTimer(h TimerHost, idx int32, gen uint32, at Time) Timer {
+	return Timer{host: h, idx: idx, gen: gen, at: at}
 }
 
 // timerSlot is one arena entry. gen is bumped every time the slot is
@@ -66,16 +89,10 @@ type timerSlot struct {
 // Stop cancels the timer, unlinking it from the event heap in O(log n). It
 // reports whether the cancellation prevented the event from firing.
 func (t Timer) Stop() bool {
-	if t.eng == nil {
+	if t.host == nil {
 		return false
 	}
-	s := &t.eng.slots[t.idx]
-	if s.gen != t.gen {
-		return false // already fired or stopped
-	}
-	t.eng.removeAt(int(s.pos))
-	t.eng.release(t.idx, false)
-	return true
+	return t.host.StopTimer(t.idx, t.gen)
 }
 
 // Fired reports whether the timer's event has run. The answer is exact
@@ -84,20 +101,16 @@ func (t Timer) Stop() bool {
 // outcome (no protocol code holds handles that long — rejoin timers are
 // either stopped or queried before re-arming).
 func (t Timer) Fired() bool {
-	if t.eng == nil {
+	if t.host == nil {
 		return false
 	}
-	s := &t.eng.slots[t.idx]
-	if s.gen == t.gen {
-		return false // still pending
-	}
-	return s.prevFired
+	return t.host.TimerFired(t.idx, t.gen)
 }
 
 // Active reports whether the timer is still pending: scheduled, not fired,
 // and not stopped. The zero Timer is inactive.
 func (t Timer) Active() bool {
-	return t.eng != nil && t.eng.slots[t.idx].gen == t.gen
+	return t.host != nil && t.host.TimerActive(t.idx, t.gen)
 }
 
 // When returns the scheduled firing time.
@@ -167,7 +180,33 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	s.pos = int32(len(e.heap))
 	e.heap = append(e.heap, idx)
 	e.siftUp(int(s.pos))
-	return Timer{eng: e, idx: idx, gen: s.gen, at: t}
+	return Timer{host: e, idx: idx, gen: s.gen, at: t}
+}
+
+// StopTimer implements TimerHost: it cancels the (idx, gen) slot if that
+// generation is still pending, unlinking it from the heap in O(log n).
+func (e *Engine) StopTimer(idx int32, gen uint32) bool {
+	s := &e.slots[idx]
+	if s.gen != gen {
+		return false // already fired or stopped
+	}
+	e.removeAt(int(s.pos))
+	e.release(idx, false)
+	return true
+}
+
+// TimerActive implements TimerHost.
+func (e *Engine) TimerActive(idx int32, gen uint32) bool {
+	return e.slots[idx].gen == gen
+}
+
+// TimerFired implements TimerHost.
+func (e *Engine) TimerFired(idx int32, gen uint32) bool {
+	s := &e.slots[idx]
+	if s.gen == gen {
+		return false // still pending
+	}
+	return s.prevFired
 }
 
 // release retires slot idx's current generation (recording how it ended)

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Datagram envelope for live transports (UDP): when BCP traffic leaves the
+// in-process world, every message — RCC control frame, data message,
+// heartbeat — travels as one datagram of
+//
+//	[kind u8][link u32][payload...]
+//
+// where link is the simplex topology.LinkID the message logically traverses
+// (live daemons share the topology, so the id is meaningful on both ends)
+// and the payload encoding depends on kind. Control frames reuse the Frame
+// encoding unchanged; heartbeats have no payload.
+
+// Datagram kinds.
+const (
+	DgramFrame     uint8 = 1 // payload: one marshaled Frame
+	DgramData      uint8 = 2 // payload: one DataMsg
+	DgramHeartbeat uint8 = 3 // no payload
+)
+
+// dgramHeaderSize is kind + link.
+const dgramHeaderSize = 1 + 4
+
+// AppendDatagramHeader appends the envelope header for a message on the
+// given link.
+func AppendDatagramHeader(b []byte, kind uint8, link uint32) []byte {
+	b = append(b, kind)
+	return binary.BigEndian.AppendUint32(b, link)
+}
+
+// ParseDatagramHeader splits a received datagram into its kind, link, and
+// payload.
+func ParseDatagramHeader(b []byte) (kind uint8, link uint32, payload []byte, err error) {
+	if len(b) < dgramHeaderSize {
+		return 0, 0, nil, fmt.Errorf("wire: datagram truncated: %d bytes", len(b))
+	}
+	kind = b[0]
+	if kind < DgramFrame || kind > DgramHeartbeat {
+		return 0, 0, nil, fmt.Errorf("wire: unknown datagram kind %d", kind)
+	}
+	return kind, binary.BigEndian.Uint32(b[1:5]), b[dgramHeaderSize:], nil
+}
+
+// DataMsg is the on-wire form of one real-time data message. SentNanos
+// carries the sender's runtime clock so the receiver can measure transit
+// latency (meaningful when both daemons share a clock — the in-process live
+// harness does).
+type DataMsg struct {
+	Conn      int64
+	Channel   int64
+	Seq       uint64
+	SentNanos int64
+}
+
+// dataMsgSize is the encoded size of a DataMsg.
+const dataMsgSize = 8 * 4
+
+// Size returns the encoded size in bytes.
+func (m DataMsg) Size() int { return dataMsgSize }
+
+// AppendTo appends the encoded message.
+func (m DataMsg) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Conn))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Channel))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	return binary.BigEndian.AppendUint64(b, uint64(m.SentNanos))
+}
+
+// ParseDataMsg decodes one DataMsg, rejecting trailing garbage.
+func ParseDataMsg(b []byte) (DataMsg, error) {
+	if len(b) != dataMsgSize {
+		return DataMsg{}, fmt.Errorf("wire: data message of %d bytes, want %d", len(b), dataMsgSize)
+	}
+	return DataMsg{
+		Conn:      int64(binary.BigEndian.Uint64(b[0:8])),
+		Channel:   int64(binary.BigEndian.Uint64(b[8:16])),
+		Seq:       binary.BigEndian.Uint64(b[16:24]),
+		SentNanos: int64(binary.BigEndian.Uint64(b[24:32])),
+	}, nil
+}
