@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench chaos chaos-nightly
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,16 @@ COMPARE ?=
 SEED ?= 1
 bench:
 	$(GO) run ./cmd/bcpbench -label $(LABEL) -seed $(SEED) $(if $(COMPARE),-compare $(COMPARE))
+
+# chaos is the CI smoke budget: a fixed seed, a small episode count, and
+# the seeded-bug catch run under the race detector. CHAOS_SEED/CHAOS_EPISODES
+# override the defaults. chaos-nightly is the documented nightly budget —
+# 1000 episodes (~10s wall, zero violations, deterministic digest).
+CHAOS_SEED ?= 1
+CHAOS_EPISODES ?= 40
+chaos:
+	$(GO) test -race -count=1 -run 'TestModelCheck|TestSabotageCaught|TestGolden' \
+		./internal/chaos -chaos.seed=$(CHAOS_SEED) -chaos.episodes=$(CHAOS_EPISODES)
+
+chaos-nightly:
+	$(GO) run ./cmd/bcpchaos -seed $(CHAOS_SEED) -episodes 1000 -v

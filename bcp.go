@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/rtcl/bcp/internal/bcpd"
+	"github.com/rtcl/bcp/internal/chaos"
 	"github.com/rtcl/bcp/internal/conformance"
 	"github.com/rtcl/bcp/internal/core"
 	"github.com/rtcl/bcp/internal/experiment"
@@ -436,3 +437,45 @@ func DefaultDelayModel() DelayModel { return rtchan.DefaultDelayModel() }
 // NewRand returns a deterministic random source for tie-breaking and
 // workload generation.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// --- Chaos model checking ------------------------------------------------
+
+type (
+	// ChaosSpec is one complete, replayable chaos episode: seed, topology,
+	// connections, hostile-transport intensities, and fault schedule.
+	ChaosSpec = chaos.Spec
+	// ChaosOptions parameterizes RunChaos (seed, episode count, schedule
+	// classes, shrink budget, artifact directory).
+	ChaosOptions = chaos.Options
+	// ChaosReport summarizes a model-check run: digests, totals, and the
+	// shrunk Failures.
+	ChaosReport = chaos.Report
+	// ChaosArtifact is the JSON reproducer written for a shrunk failure.
+	ChaosArtifact = chaos.Artifact
+	// ChaosParams seeds the hostile transport; LinkChaos is one link's
+	// fault intensities (drop, dup, corrupt, delay).
+	ChaosParams = bcpd.ChaosParams
+	LinkChaos   = bcpd.LinkChaos
+)
+
+var (
+	// RunChaos model-checks N seeded episodes, shrinking any failure to a
+	// minimal replayable artifact.
+	RunChaos = chaos.Run
+	// GenerateChaosSpec derives one episode spec from a seed and a
+	// schedule class (ChaosClasses lists them).
+	GenerateChaosSpec = chaos.Generate
+	// RunChaosEpisode executes a single spec and audits it.
+	RunChaosEpisode = chaos.RunEpisode
+	// ReplayChaosArtifact re-runs a reproducer exactly.
+	ReplayChaosArtifact = chaos.ReplayArtifact
+	// ReadChaosArtifact / WriteChaosArtifact are the JSON codec for
+	// reproducers.
+	ReadChaosArtifact  = chaos.ReadArtifact
+	WriteChaosArtifact = chaos.WriteArtifact
+	// ChaosClasses lists the fault-schedule classes.
+	ChaosClasses = chaos.Classes
+	// NewChaosTransport decorates any Transport with seeded loss,
+	// duplication, corruption, jitter, and asymmetric partitions.
+	NewChaosTransport = bcpd.NewChaosTransport
+)

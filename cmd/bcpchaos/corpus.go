@@ -1,0 +1,53 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// corpusWriter harvests wire-frame images observed during chaos episodes
+// (clean frames at send time and corrupted ones post-mangling) into Go
+// native fuzz corpus files, deduplicated by content.
+type corpusWriter struct {
+	dir    string
+	frames map[[32]byte][]byte
+	cap    int
+}
+
+func newCorpusWriter(dir string) *corpusWriter {
+	return &corpusWriter{dir: dir, frames: make(map[[32]byte][]byte), cap: 512}
+}
+
+// Observe copies a frame (the buffer is pooled — it must not be retained).
+func (w *corpusWriter) Observe(frame []byte) {
+	if len(w.frames) >= w.cap {
+		return
+	}
+	h := sha256.Sum256(frame)
+	if _, dup := w.frames[h]; dup {
+		return
+	}
+	w.frames[h] = append([]byte(nil), frame...)
+}
+
+// Flush writes one corpus file per distinct frame in Go's native fuzz
+// encoding and returns how many were written.
+func (w *corpusWriter) Flush() (int, error) {
+	if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for h, frame := range w.frames {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(frame)))
+		name := filepath.Join(w.dir, hex.EncodeToString(h[:8]))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

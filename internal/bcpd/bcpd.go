@@ -112,6 +112,10 @@ type Config struct {
 	// frame encodings, e.g. as a fuzzing corpus. The frame buffer is
 	// recycled after delivery — the tap must copy anything it retains.
 	FrameTap func(link topology.LinkID, frame []byte)
+
+	// Sabotage, when non-nil, re-introduces a known-fixed bug for harness
+	// self-tests (the chaos model checker proves it still catches it).
+	Sabotage *Sabotage
 }
 
 // DefaultConfig returns timing typical of the paper's setting: millisecond
@@ -390,13 +394,13 @@ func (n *Network) installConnection(conn *core.DConnection) {
 	if conn.Primary != nil {
 		n.emitInstall(conn.ID, conn.Primary, trace.StateP)
 		for _, v := range conn.Primary.Path.Nodes() {
-			n.nodes[v].setState(conn.Primary.ID, stateP)
+			n.nodes[v].install(conn.Primary, stateP)
 		}
 	}
 	for _, b := range conn.Backups {
 		n.emitInstall(conn.ID, b, trace.StateB)
 		for _, v := range b.Path.Nodes() {
-			n.nodes[v].setState(b.ID, stateB)
+			n.nodes[v].install(b, stateB)
 		}
 	}
 }
@@ -565,7 +569,7 @@ func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
 				n.emitChan(trace.KindReplenish, conn.Src, b.ID, int64(b.Path.Hops()))
 			}
 			for _, v := range b.Path.Nodes() {
-				n.nodes[v].setState(b.ID, stateB)
+				n.nodes[v].install(b, stateB)
 			}
 		}
 	})

@@ -43,6 +43,12 @@ type daemon struct {
 
 	states       map[rtchan.ChannelID]chanState
 	rejoinTimers map[rtchan.ChannelID]sim.Timer
+	// paths is the daemon's own copy of each installed channel's route —
+	// the forwarding soft state a real daemon keeps. It outlives the
+	// resource plane's registry entry so teardown closures can still be
+	// forwarded hop-by-hop after the channel has been reclaimed, and is
+	// deleted when the channel returns to state N here.
+	paths map[rtchan.ChannelID]topology.Path
 	// knownFailedBackups lets an end node skip backups it has received
 	// failure reports for when selecting a serial to activate.
 	knownFailedBackups map[rtchan.ChannelID]bool
@@ -54,6 +60,7 @@ func newDaemon(n *Network, id topology.NodeID) *daemon {
 		id:                 id,
 		states:             make(map[rtchan.ChannelID]chanState),
 		rejoinTimers:       make(map[rtchan.ChannelID]sim.Timer),
+		paths:              make(map[rtchan.ChannelID]topology.Path),
 		knownFailedBackups: make(map[rtchan.ChannelID]bool),
 	}
 }
@@ -65,12 +72,33 @@ func (d *daemon) setState(ch rtchan.ChannelID, s chanState) {
 	old := d.states[ch]
 	if s == stateN {
 		delete(d.states, ch)
+		delete(d.paths, ch)
+		delete(d.knownFailedBackups, ch)
 	} else {
 		d.states[ch] = s
 	}
 	if old != s && d.net.em.Enabled() {
 		d.net.emitState(d.id, ch, old, s)
 	}
+}
+
+// install seeds the daemon's soft state for a channel routed through this
+// node: the Figure-4 state plus the daemon's own copy of the route.
+func (d *daemon) install(ch *rtchan.Channel, s chanState) {
+	d.paths[ch.ID] = ch.Path
+	d.setState(ch.ID, s)
+}
+
+// pathOf resolves a channel's route from the daemon's forwarding soft state,
+// falling back to the resource plane for channels installed out-of-band.
+func (d *daemon) pathOf(chID rtchan.ChannelID) (topology.Path, bool) {
+	if p, ok := d.paths[chID]; ok {
+		return p, true
+	}
+	if ch := d.channel(chID); ch != nil {
+		return ch.Path, true
+	}
+	return topology.Path{}, false
 }
 
 func (d *daemon) channel(id rtchan.ChannelID) *rtchan.Channel {
@@ -106,12 +134,19 @@ func (d *daemon) handleControl(c wireControl) {
 // failed link are lost, exactly as in the paper — the failure itself (or the
 // other direction's report) covers the remaining segment.
 func (d *daemon) forwardAlong(ch *rtchan.Channel, c wireControl) {
-	idx := ch.Path.IndexOfNode(d.id)
+	d.forwardAlongPath(ch.Path, c)
+}
+
+// forwardAlongPath is forwardAlong against an explicit route — the daemon's
+// own forwarding soft state — so teardown closures still propagate after the
+// resource plane has released the channel.
+func (d *daemon) forwardAlongPath(p topology.Path, c wireControl) {
+	idx := p.IndexOfNode(d.id)
 	if idx < 0 {
 		return
 	}
-	nodes := ch.Path.Nodes()
-	links := ch.Path.Links()
+	nodes := p.Nodes()
+	links := p.Links()
 	g := d.net.mgr.Graph()
 	var l topology.LinkID
 	switch {
@@ -451,6 +486,7 @@ func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
 	}
 	chID := ch.ID
 	connID := ch.Conn
+	path := ch.Path
 	d.rejoinTimers[chID] = d.net.rt.Schedule(d.net.cfg.RejoinTimeout, func() {
 		if d.dead || d.states[chID] != stateU {
 			return
@@ -463,6 +499,15 @@ func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
 		// First expiry reclaims the channel's resources network-wide; the
 		// call is idempotent across nodes.
 		_ = d.net.mgr.TeardownChannel(connID, chID)
+		// Announce the teardown both ways. Nodes still in U reclaim on
+		// their own timers, but a node that a straggling rejoin confirm
+		// converted to B — stopping its timer — learns of the death only
+		// from this closure.
+		for _, toward := range [2]int8{1, -1} {
+			d.forwardAlongPath(path, wireControl{
+				Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: toward,
+			})
+		}
 	})
 }
 
@@ -526,15 +571,18 @@ func (d *daemon) handleRejoin(c wireControl) {
 		}
 		d.forwardAlong(ch, c)
 	case stateN:
-		// Timer already expired here: undo the repair along the rest of
-		// the path (Figure 6).
+		// Timer already expired here: undo the repair on both sides
+		// (Figure 6) — the confirm has already converted the nodes behind
+		// it to B, and the nodes ahead may still be waiting in U.
 		d.net.stats.Closures++
 		if d.net.em.Enabled() {
 			d.net.emitChan(trace.KindClosure, d.id, chID, 0)
 		}
-		d.forwardAlong(ch, wireControl{
-			Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
-		})
+		for _, toward := range [2]int8{1, -1} {
+			d.forwardAlong(ch, wireControl{
+				Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: toward,
+			})
+		}
 	default:
 	}
 }
@@ -561,7 +609,9 @@ func (d *daemon) completeRejoin(ch *rtchan.Channel) {
 	// episode, so the promote-once guard must rearm. (Without this, a
 	// channel that has been promoted once can never be promoted again —
 	// visible under repeated fail/repair cycles.)
-	delete(d.net.activated, ch.ID)
+	if s := d.net.cfg.Sabotage; s == nil || !s.SkipPromoteRearm {
+		delete(d.net.activated, ch.ID)
+	}
 }
 
 func (d *daemon) abandonRejoin(ch *rtchan.Channel) {
@@ -578,14 +628,14 @@ func (d *daemon) abandonRejoin(ch *rtchan.Channel) {
 
 func (d *daemon) handleClosure(c wireControl) {
 	chID := rtchan.ChannelID(c.Channel)
-	ch := d.channel(chID)
+	path, known := d.pathOf(chID)
 	d.stopRejoinTimer(chID)
 	if d.states[chID] == stateN {
 		return
 	}
 	d.setState(chID, stateN)
-	if ch != nil {
-		d.forwardAlong(ch, c)
+	if known {
+		d.forwardAlongPath(path, c)
 	}
 }
 

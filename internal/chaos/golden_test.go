@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/rtcl/bcp/internal/bcpd"
+)
+
+// The golden reproducers under testdata/ are shrunk chaos artifacts promoted
+// to permanent regression scenarios. Each replays clean against current code;
+// the promote-rearm one must additionally still fail when the historical bug
+// is reintroduced via the sabotage hook, proving the scenario keeps biting.
+func TestGoldenReproducersReplayClean(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected at least 2 golden artifacts, found %d", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			a, err := ReadArtifact(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ReplayArtifact(a, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("golden scenario regressed: %v", res.Violations)
+			}
+		})
+	}
+}
+
+// TestGoldenPromoteRearmStillBites replays the promote-rearm golden with the
+// seeded bug re-enabled: if the artifact ever stops failing under sabotage,
+// it no longer guards the promote-once rearm and must be regenerated.
+func TestGoldenPromoteRearmStillBites(t *testing.T) {
+	a, err := ReadArtifact("testdata/promote-rearm-pingpong.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayArtifact(a, RunOptions{Sabotage: &bcpd.Sabotage{SkipPromoteRearm: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("promote-rearm golden no longer fails with the seeded bug enabled")
+	}
+	if res.Digest != a.Digest {
+		t.Fatalf("sabotage replay digest drifted: got %s, artifact records %s", res.Digest, a.Digest)
+	}
+}
+
+// TestGoldenRejoinConfirmRace pins the fix for the stale soft-state leak the
+// chaos hunt found: a rejoin confirm raced a re-failure of its own link, the
+// destination's rejoin timer expired after the confirm had converted upstream
+// nodes to B, and teardown never told them. The artifact's Violations field
+// preserves the pre-fix signature; the replay must stay clean.
+func TestGoldenRejoinConfirmRace(t *testing.T) {
+	a, err := ReadArtifact("testdata/rejoin-confirm-race.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations) == 0 {
+		t.Fatal("artifact should record the historical failure signature")
+	}
+	res, err := ReplayArtifact(a, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("rejoin-confirm race regressed: %v", res.Violations)
+	}
+	if res.Digest != a.Digest {
+		t.Fatalf("replay digest drifted: got %s, artifact records %s", res.Digest, a.Digest)
+	}
+}

@@ -1,0 +1,480 @@
+// Package chaos is a deterministic, seed-driven adversarial harness for the
+// BCP protocol stack: it generates fault schedules (component fail–repair
+// timelines and chaos-layer partitions) over random topologies, runs each as
+// a simulated episode behind a hostile transport (loss, duplication,
+// reordering delay, corruption), checks every episode against the
+// conformance oracle plus quiescence/liveness invariants, and shrinks any
+// failing schedule to a minimal replayable reproducer.
+//
+// Everything is a pure function of a seed: the same seed produces the same
+// topology, connections, fault schedule, packet-level chaos decisions, and —
+// because the simulation itself is deterministic — the same event stream,
+// byte for byte. That makes every failure an artifact, not an anecdote.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/rtcl/bcp/internal/core"
+	"github.com/rtcl/bcp/internal/routing"
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Schedule classes: each episode draws one pattern of component faults.
+const (
+	// ClassSingle: one component (link or intermediate node) fails and is
+	// repaired — the paper's headline scenario.
+	ClassSingle = "single"
+	// ClassDouble: two components fail with overlapping down-windows
+	// (correlated double failure), the regime where recovery degrades
+	// gracefully rather than within the Γ bound.
+	ClassDouble = "double"
+	// ClassRolling: a sequence of disjoint fail–repair windows rolling
+	// across different components.
+	ClassRolling = "rolling"
+	// ClassFlapping: one link fails and recovers several times in quick
+	// succession, racing repair against in-flight recovery.
+	ClassFlapping = "flapping"
+	// ClassPartition: chaos-layer cuts (links look healthy but deliver
+	// nothing) around a real failure — failure reports and rejoins must
+	// survive on RCC retransmission across the heal.
+	ClassPartition = "partition"
+	// ClassPingPong: alternating failures between a connection's two
+	// paths, so the primary role ping-pongs and every promoted channel
+	// must later re-promote — the schedule shape that catches stale
+	// promote-once state.
+	ClassPingPong = "pingpong"
+)
+
+// Classes lists every schedule class in generation order.
+var Classes = []string{ClassSingle, ClassDouble, ClassRolling, ClassFlapping, ClassPartition, ClassPingPong}
+
+// Fault-event kinds. Fail/repair act on real components (oracle-detected by
+// the protocol); cut/heal act on the chaos layer only (the component looks
+// healthy, nothing is delivered, nothing is detected).
+const (
+	EvFailLink   = "fail-link"
+	EvRepairLink = "repair-link"
+	EvFailNode   = "fail-node"
+	EvRepairNode = "repair-node"
+	EvCutLink    = "cut-link"
+	EvHealLink   = "heal-link"
+)
+
+// FaultEvent is one scheduled fault action. Times are nanoseconds from
+// episode start so specs serialize exactly.
+type FaultEvent struct {
+	AtNS   int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	Target int    `json:"target"` // link or node ID, per kind
+}
+
+// At returns the event's offset as a duration.
+func (e FaultEvent) At() sim.Duration { return sim.Duration(e.AtNS) }
+
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("%s(%d)@%v", e.Kind, e.Target, time.Duration(e.AtNS))
+}
+
+// TopoSpec names a topology generator and its dimensions — enough to rebuild
+// the identical graph (and therefore identical link IDs) on replay.
+type TopoSpec struct {
+	Kind string `json:"kind"` // torus, mesh, ring, hypercube, random
+	A    int    `json:"a"`    // rows / n / dimension
+	B    int    `json:"b"`    // cols (torus, mesh); tenths of avg degree (random)
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// Build constructs the graph. Capacity is fixed: episodes stress the control
+// plane, not admission.
+func (t TopoSpec) Build() (*topology.Graph, error) {
+	const capacity = 200
+	switch t.Kind {
+	case "torus":
+		return topology.NewTorus(t.A, t.B, capacity), nil
+	case "mesh":
+		return topology.NewMesh(t.A, t.B, capacity), nil
+	case "ring":
+		return topology.NewRing(t.A, capacity), nil
+	case "hypercube":
+		return topology.NewHypercube(t.A, capacity), nil
+	case "random":
+		return topology.NewRandom(t.A, float64(t.B)/10, capacity, t.Seed), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown topology kind %q", t.Kind)
+	}
+}
+
+func (t TopoSpec) String() string {
+	return fmt.Sprintf("%s(%d,%d)", t.Kind, t.A, t.B)
+}
+
+// ConnSpec is one connection to establish before the faults start.
+type ConnSpec struct {
+	Src     int `json:"src"`
+	Dst     int `json:"dst"`
+	Backups int `json:"backups"`
+}
+
+// ChaosSpec is the transport-level hostility applied uniformly to every
+// link for the whole episode (the fault schedule is on top of this).
+type ChaosSpec struct {
+	Drop       float64 `json:"drop,omitempty"`
+	Dup        float64 `json:"dup,omitempty"`
+	Corrupt    float64 `json:"corrupt,omitempty"`
+	Delay      float64 `json:"delay,omitempty"`
+	DelayMaxNS int64   `json:"delay_max_ns,omitempty"`
+}
+
+// Spec fully determines one episode: rebuildable topology and connections,
+// the transport chaos plan, and the fault schedule. Marshals to JSON as the
+// replay artifact format.
+type Spec struct {
+	Seed      int64        `json:"seed"`
+	Class     string       `json:"class"`
+	Topo      TopoSpec     `json:"topo"`
+	Conns     []ConnSpec   `json:"conns"`
+	Chaos     ChaosSpec    `json:"chaos"`
+	Events    []FaultEvent `json:"events"`
+	HorizonNS int64        `json:"horizon_ns"`
+	// Benign marks schedules under which full re-establishment is
+	// guaranteed: at most one component down at any instant, no connection
+	// end node ever fails, all multiplexing degrees are 1. Episodes assert
+	// the strong liveness rule (every connection ends with a healthy
+	// primary) only when set.
+	Benign bool `json:"benign"`
+}
+
+// establish rebuilds the spec's control plane: graph, manager, and the
+// connections, established in spec order with the paper's sequential
+// disjoint routing. Conns that can no longer be routed are skipped (the
+// skip is as deterministic as a success); the returned slice holds what
+// stands, aligned with nothing — callers iterate it, not spec.Conns.
+func (s *Spec) establish() (*core.Manager, []*core.DConnection, error) {
+	g, err := s.Topo.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr := core.NewManager(g, core.DefaultConfig())
+	var conns []*core.DConnection
+	for _, cs := range s.Conns {
+		paths := mgr.Router().SequentialDisjointPaths(
+			topology.NodeID(cs.Src), topology.NodeID(cs.Dst), cs.Backups+1, routing.Constraint{})
+		if len(paths) < 2 {
+			continue // no disjoint backup: not survivable, not interesting
+		}
+		degrees := make([]int, len(paths)-1)
+		for i := range degrees {
+			degrees[i] = 1
+		}
+		conn, err := mgr.EstablishOnPaths(rtchan.DefaultSpec(), paths[0], paths[1:], degrees)
+		if err != nil {
+			continue
+		}
+		conns = append(conns, conn)
+	}
+	return mgr, conns, nil
+}
+
+// ms is a readability helper for generated timelines.
+func ms(n int64) int64 { return n * int64(time.Millisecond) }
+
+// Generate derives a complete episode spec from a seed and a class. The
+// schedule is biased toward links and nodes on established channel paths
+// (faults far from any channel exercise nothing), with windows sized so
+// repairs land before rejoin timers expire in the benign classes.
+func Generate(seed int64, class string) (Spec, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{Seed: seed, Class: class}
+
+	// Topology: small enough to run thousands of episodes, varied enough to
+	// cover degree-2 rings through degree-4 tori.
+	topos := []TopoSpec{
+		{Kind: "torus", A: 4, B: 4},
+		{Kind: "mesh", A: 3, B: 4},
+		{Kind: "ring", A: 10},
+		{Kind: "hypercube", A: 3},
+		{Kind: "random", A: 12, B: 32, Seed: seed},
+	}
+	s.Topo = topos[rng.Intn(len(topos))]
+
+	// Connections: a few random pairs; rejected pairs are filtered here so
+	// the spec's Conns are exactly what establishes on replay.
+	g, err := s.Topo.Build()
+	if err != nil {
+		return s, err
+	}
+	nn := g.NumNodes()
+	want := 2 + rng.Intn(2)
+	for len(s.Conns) < want {
+		src := rng.Intn(nn)
+		dst := rng.Intn(nn)
+		if src == dst {
+			continue
+		}
+		backups := 1
+		if rng.Float64() < 0.25 {
+			backups = 2
+		}
+		s.Conns = append(s.Conns, ConnSpec{Src: src, Dst: dst, Backups: backups})
+	}
+	mgr, conns, err := s.establish()
+	if err != nil {
+		return s, err
+	}
+	if len(conns) == 0 {
+		// Nothing established (e.g. every pair collided): fall back to a
+		// torus with a known-good pair so every seed yields a real episode.
+		s.Topo = TopoSpec{Kind: "torus", A: 4, B: 4}
+		s.Conns = []ConnSpec{{Src: 0, Dst: 10, Backups: 1}}
+		mgr, conns, err = s.establish()
+		if err != nil || len(conns) == 0 {
+			return s, fmt.Errorf("chaos: fallback establishment failed: %v", err)
+		}
+	}
+	_ = mgr
+
+	// Transport hostility: every class gets some; partition-free classes
+	// lean on loss/dup/corrupt, the partition class keeps packet chaos
+	// lighter so the cut itself is the story.
+	s.Chaos = ChaosSpec{
+		Drop:       0.02 + 0.10*rng.Float64(),
+		Dup:        0.05 * rng.Float64(),
+		Corrupt:    0.04 * rng.Float64(),
+		Delay:      0.30 * rng.Float64(),
+		DelayMaxNS: ms(2),
+	}
+	if class == ClassPartition {
+		s.Chaos.Drop /= 4
+	}
+
+	s.Events, s.Benign = generateEvents(rng, class, g, conns)
+	s.Benign = s.Benign && benignEvents(s.Events)
+	last := int64(0)
+	for _, ev := range s.Events {
+		if ev.AtNS > last {
+			last = ev.AtNS
+		}
+	}
+	s.HorizonNS = last + ms(500)
+	return s, nil
+}
+
+// pathLink picks a random link on a channel path.
+func pathLink(rng *rand.Rand, p topology.Path) topology.LinkID {
+	links := p.Links()
+	return links[rng.Intn(len(links))]
+}
+
+// pickConn picks a random established connection that still has a backup.
+func pickConn(rng *rand.Rand, conns []*core.DConnection) *core.DConnection {
+	withBackup := make([]*core.DConnection, 0, len(conns))
+	for _, c := range conns {
+		if c.Primary != nil && len(c.Backups) > 0 {
+			withBackup = append(withBackup, c)
+		}
+	}
+	if len(withBackup) == 0 {
+		return conns[rng.Intn(len(conns))]
+	}
+	return withBackup[rng.Intn(len(withBackup))]
+}
+
+// endpointNodes collects every connection end node — the nodes a benign
+// schedule must never crash.
+func endpointNodes(conns []*core.DConnection) map[topology.NodeID]bool {
+	eps := make(map[topology.NodeID]bool, 2*len(conns))
+	for _, c := range conns {
+		eps[c.Src] = true
+		eps[c.Dst] = true
+	}
+	return eps
+}
+
+// intermediateNode picks an intermediate node of the connection's primary
+// path that is no connection's end node, or NoNode.
+func intermediateNode(rng *rand.Rand, conn *core.DConnection, eps map[topology.NodeID]bool) topology.NodeID {
+	if conn.Primary == nil {
+		return topology.NoNode
+	}
+	nodes := conn.Primary.Path.Nodes()
+	var cands []topology.NodeID
+	for _, v := range nodes[1 : len(nodes)-1] {
+		if !eps[v] {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return topology.NoNode
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// benignGapNS is the minimum separation between one component's repair and
+// the next component's failure for a schedule to count as benign: the
+// repaired channel must finish its rejoin (probe delay, then an RCC round
+// trip with 20 ms retransmission tails under loss) before the next failure
+// may need it as the promotion target. Generator gaps respect this by
+// construction; the shrinker's time-tightening is what runs into it.
+const benignGapNS = int64(120 * time.Millisecond)
+
+// benignEvents re-derives the benign property from a fault timeline: every
+// failure matched with its repair (an unmatched failure stays down until the
+// episode's heal step), intervals pairwise disjoint with at least
+// benignGapNS between them. Chaos-layer cuts are loss, not failure — RCC
+// retransmission rides them out — so they are ignored. Targets are not
+// re-validated: generation vets them and shrinking never alters them.
+func benignEvents(evs []FaultEvent) bool {
+	repairOf := map[string]string{EvFailLink: EvRepairLink, EvFailNode: EvRepairNode}
+	type iv struct{ start, end int64 }
+	var ivs []iv
+	for _, ev := range evs {
+		rk, isFail := repairOf[ev.Kind]
+		if !isFail {
+			continue
+		}
+		// Earliest matching repair at or after the failure. Exact for
+		// generated schedules (fail/repair alternate per target); a shrunk
+		// schedule where two failures share one repair yields overlapping
+		// intervals, which the check below rejects — the right answer.
+		end := int64(1) << 62
+		for _, r := range evs {
+			if r.Kind == rk && r.Target == ev.Target && r.AtNS >= ev.AtNS && r.AtNS < end {
+				end = r.AtNS
+			}
+		}
+		ivs = append(ivs, iv{ev.AtNS, end})
+	}
+	for i := range ivs {
+		for j := range ivs {
+			if i == j {
+				continue
+			}
+			a, b := ivs[i], ivs[j]
+			if a.start > b.start {
+				a, b = b, a
+			}
+			if b.start < a.end+benignGapNS {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// generateEvents builds the fault timeline for one class. All windows close
+// well before rejoin timers (1 s in episodes) expire, so benign classes
+// guarantee re-establishment.
+func generateEvents(rng *rand.Rand, class string, g *topology.Graph, conns []*core.DConnection) ([]FaultEvent, bool) {
+	var evs []FaultEvent
+	eps := endpointNodes(conns)
+	at := ms(int64(50 + rng.Intn(100)))
+	window := func() int64 { return ms(int64(100 + rng.Intn(250))) }
+	gap := func() int64 { return ms(int64(150 + rng.Intn(250))) }
+
+	failRepair := func(kindF, kindR string, target int, t0, w int64) {
+		evs = append(evs,
+			FaultEvent{AtNS: t0, Kind: kindF, Target: target},
+			FaultEvent{AtNS: t0 + w, Kind: kindR, Target: target},
+		)
+	}
+
+	switch class {
+	case ClassSingle:
+		conn := pickConn(rng, conns)
+		if rng.Float64() < 0.3 {
+			if v := intermediateNode(rng, conn, eps); v != topology.NoNode {
+				failRepair(EvFailNode, EvRepairNode, int(v), at, window())
+				return evs, true
+			}
+		}
+		failRepair(EvFailLink, EvRepairLink, int(pathLink(rng, conn.Primary.Path)), at, window())
+		return evs, true
+
+	case ClassDouble:
+		conn := pickConn(rng, conns)
+		l1 := pathLink(rng, conn.Primary.Path)
+		var l2 topology.LinkID
+		if len(conn.Backups) > 0 {
+			l2 = pathLink(rng, conn.Backups[0].Path)
+		} else {
+			l2 = topology.LinkID(rng.Intn(g.NumLinks()))
+		}
+		w := window()
+		failRepair(EvFailLink, EvRepairLink, int(l1), at, w)
+		failRepair(EvFailLink, EvRepairLink, int(l2), at+ms(int64(rng.Intn(40))), w)
+		return evs, false
+
+	case ClassRolling:
+		k := 3 + rng.Intn(3)
+		for i := 0; i < k; i++ {
+			conn := pickConn(rng, conns)
+			var target topology.LinkID
+			if conn.Primary != nil && rng.Float64() < 0.7 {
+				target = pathLink(rng, conn.Primary.Path)
+			} else {
+				target = topology.LinkID(rng.Intn(g.NumLinks()))
+			}
+			w := window()
+			failRepair(EvFailLink, EvRepairLink, int(target), at, w)
+			at += w + gap()
+		}
+		return evs, true
+
+	case ClassFlapping:
+		conn := pickConn(rng, conns)
+		l := pathLink(rng, conn.Primary.Path)
+		k := 3 + rng.Intn(2)
+		for i := 0; i < k; i++ {
+			w := ms(int64(40 + rng.Intn(60)))
+			failRepair(EvFailLink, EvRepairLink, int(l), at, w)
+			at += w + ms(int64(120+rng.Intn(200)))
+		}
+		return evs, true
+
+	case ClassPartition:
+		conn := pickConn(rng, conns)
+		fail := pathLink(rng, conn.Primary.Path)
+		// Cut 1–3 links at the chaos layer (asymmetric: the reverse side
+		// stays open unless independently cut), then crash a primary link
+		// inside the blackout so its failure reports must outlive the cut.
+		nCuts := 1 + rng.Intn(3)
+		cutW := ms(int64(250 + rng.Intn(250)))
+		for i := 0; i < nCuts; i++ {
+			cut := topology.LinkID(rng.Intn(g.NumLinks()))
+			evs = append(evs,
+				FaultEvent{AtNS: at, Kind: EvCutLink, Target: int(cut)},
+				FaultEvent{AtNS: at + cutW, Kind: EvHealLink, Target: int(cut)},
+			)
+		}
+		failRepair(EvFailLink, EvRepairLink, int(fail), at+ms(50), window())
+		return evs, true
+
+	case ClassPingPong:
+		conn := pickConn(rng, conns)
+		if conn.Primary == nil || len(conn.Backups) == 0 {
+			return evs, true
+		}
+		la := pathLink(rng, conn.Primary.Path)
+		lb := pathLink(rng, conn.Backups[0].Path)
+		// Alternate crashing whichever path currently carries the primary:
+		// A, B, A, ... — each round forces a promotion of the channel that
+		// rejoined the round before.
+		rounds := 3 + rng.Intn(2)
+		for i := 0; i < rounds; i++ {
+			l := la
+			if i%2 == 1 {
+				l = lb
+			}
+			w := ms(int64(150 + rng.Intn(100)))
+			failRepair(EvFailLink, EvRepairLink, int(l), at, w)
+			at += w + ms(int64(200+rng.Intn(150)))
+		}
+		return evs, true
+	}
+	return nil, false
+}

@@ -1,0 +1,151 @@
+package conformance
+
+import (
+	"testing"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+	"github.com/rtcl/bcp/internal/trace"
+)
+
+// The multi-failure edge-legality table: sequences the chaos engine's
+// double-failure, re-failure, and repair-race schedules drive through the
+// per-node state machine, checked against Figure 4's legal edge set.
+func TestMultiFailureEdgeLegality(t *testing.T) {
+	type step struct {
+		at   int
+		from trace.State
+		to   trace.State
+		ch   int64 // 0 means channel 1
+	}
+	cases := []struct {
+		name     string
+		steps    []step
+		wantRule string // "" means the sequence must pass
+		fragment string
+	}{
+		{
+			// A backup fails while the channel it covers is still in
+			// recovery: B -> U is a legal Figure-4 edge.
+			name: "re-fail during recovery",
+			steps: []step{
+				{0, trace.StateN, trace.StateB, 0},
+				{10, trace.StateB, trace.StateU, 0},
+				{20, trace.StateU, trace.StateB, 0}, // rejoin
+				{30, trace.StateB, trace.StateU, 0}, // fails again mid-window
+				{40, trace.StateU, trace.StateB, 0},
+			},
+		},
+		{
+			// Repair racing promotion: the channel rejoins (U -> B) and is
+			// immediately promoted (B -> P) — the ping-pong pattern.
+			name: "repair races promotion",
+			steps: []step{
+				{0, trace.StateN, trace.StateB, 0},
+				{10, trace.StateB, trace.StateP, 0},  // promoted
+				{20, trace.StateP, trace.StateU, 0},  // primary-path failure
+				{30, trace.StateU, trace.StateB, 0},  // rejoined after repair
+				{40, trace.StateB, trace.StateP, 0},  // promoted again
+			},
+		},
+		{
+			// Rejoin-timer expiry mid-recovery tears the channel down
+			// (U -> N) and a fresh install may later recreate it.
+			name: "expiry then reinstall",
+			steps: []step{
+				{0, trace.StateN, trace.StateB, 0},
+				{10, trace.StateB, trace.StateU, 0},
+				{20, trace.StateU, trace.StateN, 0}, // timer expired
+				{30, trace.StateN, trace.StateB, 0}, // replenished backup
+			},
+		},
+		{
+			// A channel cannot be promoted straight out of the unhealthy
+			// state: repair must complete the rejoin (U -> B) first.
+			name: "promotion from U is illegal",
+			steps: []step{
+				{0, trace.StateN, trace.StateB, 0},
+				{10, trace.StateB, trace.StateU, 0},
+				{20, trace.StateU, trace.StateP, 0},
+			},
+			wantRule: "state-machine",
+			fragment: "illegal",
+		},
+		{
+			// A failure report for a channel this node never installed:
+			// N -> U is not a Figure-4 edge (N can only go to P or B).
+			name: "failure of unknown channel is illegal",
+			steps: []step{
+				{0, trace.StateN, trace.StateU, 0},
+			},
+			wantRule: "state-machine",
+			fragment: "illegal",
+		},
+		{
+			// Double failure: both channels unhealthy at once is legal per
+			// node — the illegality chaos hunts for is claims leaking or
+			// states diverging from the resource plane, not U+U itself.
+			name: "both channels down",
+			steps: []step{
+				{0, trace.StateN, trace.StateP, 1},
+				{5, trace.StateN, trace.StateB, 2},
+				{10, trace.StateP, trace.StateU, 1},
+				{12, trace.StateB, trace.StateU, 2},
+				{30, trace.StateU, trace.StateB, 1},
+				{35, trace.StateU, trace.StateB, 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var events []trace.Event
+			for _, s := range tc.steps {
+				ch := s.ch
+				if ch == 0 {
+					ch = 1
+				}
+				events = append(events, trace.Event{
+					At: ms(s.at), Kind: trace.KindState, Node: 0,
+					Link: topology.NoLink, Conn: 1, Channel: rtchan.ChannelID(ch),
+					From: s.from, To: s.to,
+				})
+			}
+			viols := Check(events, Params{})
+			if tc.wantRule == "" {
+				if len(viols) != 0 {
+					t.Fatalf("legal sequence flagged: %v", viols)
+				}
+				return
+			}
+			wantRule(t, viols, tc.wantRule, tc.fragment)
+		})
+	}
+}
+
+// TestRepairRaceClaimLifecycle pins the claim legality of the repair-racing-
+// promotion window: a second activation of a rejoined channel claims again
+// after its first claims were converted — legal — while re-claiming without
+// an intervening convert or release is the double-claim the chaos oracle
+// must keep flagging.
+func TestRepairRaceClaimLifecycle(t *testing.T) {
+	legal := []trace.Event{
+		{At: ms(10), Kind: trace.KindClaim, Node: topology.NoNode, Link: 3, Conn: 1, Channel: 2},
+		{At: ms(12), Kind: trace.KindClaimConvert, Node: topology.NoNode, Link: 3, Conn: 1, Channel: 2},
+		// Channel demoted and re-promoted after repair: a fresh claim on
+		// the same link is a new episode.
+		{At: ms(40), Kind: trace.KindClaim, Node: topology.NoNode, Link: 3, Conn: 1, Channel: 2},
+		{At: ms(42), Kind: trace.KindClaimRelease, Node: topology.NoNode, Link: 3, Conn: 1, Channel: 2},
+	}
+	if viols := Check(legal, Params{}); len(viols) != 0 {
+		t.Fatalf("legal re-claim flagged: %v", viols)
+	}
+
+	illegal := []trace.Event{
+		{At: ms(10), Kind: trace.KindClaim, Node: topology.NoNode, Link: 3, Conn: 1, Channel: 2},
+		// Promotion raced the repair: the same claim is made again before
+		// the first was converted or released.
+		{At: ms(11), Kind: trace.KindClaim, Node: topology.NoNode, Link: 3, Conn: 1, Channel: 2},
+	}
+	wantRule(t, Check(illegal, Params{}), "claim", "double-claims")
+}

@@ -149,6 +149,21 @@ func (m *Manager) releaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
 	}
 }
 
+// OutstandingClaims counts the spare-bandwidth claims currently held across
+// every link. Claims are transient — made as activation messages cross links,
+// then converted (promotion) or released (abandonment, teardown) — so at any
+// protocol-quiescent point the count must be zero; a positive count there
+// means some recovery path leaked its claim.
+func (m *Manager) OutstandingClaims() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for i := range m.plan.mux {
+		n += len(m.plan.mux[i].claims)
+	}
+	return n
+}
+
 // ClaimedOn reports whether channel ch holds a claim on link l.
 func (m *Manager) ClaimedOn(l topology.LinkID, ch rtchan.ChannelID) bool {
 	m.mu.RLock()
