@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench chaos chaos-nightly
+.PHONY: build test race vet verify bench bench-ab chaos chaos-nightly
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ COMPARE ?=
 SEED ?= 1
 bench:
 	$(GO) run ./cmd/bcpbench -label $(LABEL) -seed $(SEED) $(if $(COMPARE),-compare $(COMPARE))
+
+# bench-ab is the same-box batched-vs-per-message restoration A/B: both
+# engines in one process, ratio floors enforced (CI runs it in bench-smoke).
+bench-ab:
+	$(GO) run ./cmd/bcpbench -ab -seed $(SEED)
 
 # chaos is the CI smoke budget: a fixed seed, a small episode count, and
 # the seeded-bug catch run under the race detector. CHAOS_SEED/CHAOS_EPISODES

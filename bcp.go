@@ -270,6 +270,12 @@ type (
 	Storm = experiment.Storm
 	// StormConfig parameterizes NewStorm.
 	StormConfig = experiment.StormConfig
+	// StormWide is the mass-failure storm harness: each cycle crashes an
+	// entire transit node of a heavily loaded network and restores it —
+	// the workload the batched dispatch path exists for.
+	StormWide = experiment.StormWide
+	// StormWideConfig parameterizes NewStormWide.
+	StormWideConfig = experiment.StormWideConfig
 )
 
 var (
@@ -293,6 +299,8 @@ var (
 	NewFlightRecorder = trace.NewFlightRecorder
 	// NewStorm builds the recovery-storm harness.
 	NewStorm = experiment.NewStorm
+	// NewStormWide builds the mass-failure storm harness.
+	NewStormWide = experiment.NewStormWide
 )
 
 // --- Reliability mathematics --------------------------------------------

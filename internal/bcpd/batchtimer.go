@@ -1,0 +1,201 @@
+package bcpd
+
+import (
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/sim"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Batched timers take the round's timer coalescing to its conclusion. A mass
+// failure arms one rejoin timer per stopped channel and one replenish timer
+// per activated connection — hundreds of heap entries and hundreds of
+// closures per storm, each closure capturing the channel identity it fires
+// for. All arms staged in one dispatch round share the same deadline, so the
+// batched engine funds the whole round with ONE timer whose payload is a
+// plain entry list: no per-channel closures, one heap insert, and the batch
+// (entry storage plus its single prebuilt fire closure) recycles through a
+// pool once it fires. The per-message engine keeps one timer and one fresh
+// closure per arm — it is the pre-batching baseline the benchmarks compare
+// against.
+//
+// Cancellation cannot go through sim.Timer.Stop anymore (stopping the shared
+// timer would kill every other arm), so a batch entry is cancelled by
+// marking it in place; the fire loop skips marked entries, exactly as the
+// per-message path's Schedule-then-Stop leaves no live timer. rejoinRef is
+// the daemon-side handle that hides the two flavors.
+//
+// Firing order is unchanged: entries run in staging order, which is the
+// order the per-message path would have Scheduled (and the engine fired)
+// them in. The batch fire also opens a dispatch round of its own, so the
+// closure announcements of an expiry burst coalesce into per-link frames
+// just like the report storm that preceded them.
+
+// rejoinRef is a daemon's handle to one armed rejoin timer: either a private
+// sim.Timer (per-message engine, or an arm made outside any round) or a slot
+// in a shared rejoinBatch. The zero rejoinRef is inactive.
+type rejoinRef struct {
+	t     sim.Timer
+	batch *rejoinBatch
+	idx   int32
+	gen   uint32
+}
+
+// active reports whether the referenced arm is still pending. A recycled
+// batch (generation mismatch) or a fired/cancelled entry is inactive,
+// mirroring sim.Timer.Active across slot reuse.
+func (r rejoinRef) active() bool {
+	if r.batch != nil {
+		if r.batch.gen != r.gen {
+			return false
+		}
+		e := &r.batch.entries[r.idx]
+		return !e.cancelled && !e.done
+	}
+	return r.t.Active()
+}
+
+// stop cancels the referenced arm; stopping a fired, cancelled, or recycled
+// arm is a no-op, like sim.Timer.Stop.
+func (r rejoinRef) stop() {
+	if r.batch != nil {
+		if r.batch.gen == r.gen {
+			r.batch.entries[r.idx].cancelled = true
+		}
+		return
+	}
+	r.t.Stop()
+}
+
+// rejoinEntry is one channel's rejoin-expiry arm inside a batch — the
+// identity the per-message closure would have captured, stored flat.
+type rejoinEntry struct {
+	d         *daemon
+	chID      rtchan.ChannelID
+	connID    rtchan.ConnID
+	path      topology.Path
+	cancelled bool
+	done      bool
+}
+
+// rejoinBatch funds every rejoin arm staged in one dispatch round with a
+// single timer. gen invalidates outstanding rejoinRefs when the batch
+// recycles through the Network's pool.
+type rejoinBatch struct {
+	n       *Network
+	gen     uint32
+	entries []rejoinEntry
+	fire    func() // prebuilt b.run, amortized with the batch
+}
+
+func (n *Network) getRejoinBatch() *rejoinBatch {
+	if k := len(n.rejoinBatchFree); k > 0 {
+		b := n.rejoinBatchFree[k-1]
+		n.rejoinBatchFree[k-1] = nil
+		n.rejoinBatchFree = n.rejoinBatchFree[:k-1]
+		return b
+	}
+	b := &rejoinBatch{n: n}
+	b.fire = b.run
+	return b
+}
+
+// run fires every surviving entry in staging order. The whole burst runs
+// inside one dispatch round: each expiry's closure announcements stage per
+// link and flush as shared frames, and the replenishments the expiries
+// request coalesce into one timer as well.
+func (b *rejoinBatch) run() {
+	opened := b.n.beginRound()
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.cancelled {
+			continue
+		}
+		// Retire the arm before running it, as the engine does for a firing
+		// timer; earlier entries may cancel later ones through stopRejoinTimer,
+		// which is why cancelled is re-checked every iteration.
+		e.done = true
+		delete(e.d.rejoinTimers, e.chID)
+		e.d.rejoinExpire(e.chID, e.connID, e.path)
+	}
+	if opened {
+		b.n.endRound()
+	}
+	b.gen++
+	for i := range b.entries {
+		b.entries[i] = rejoinEntry{}
+	}
+	b.entries = b.entries[:0]
+	b.n.rejoinBatchFree = append(b.n.rejoinBatchFree, b)
+}
+
+// probeEntry is one channel's staged rejoin probe. Probes are fire-and-
+// forget (the fire re-checks state U), so no cancellation or generation
+// bookkeeping is needed.
+type probeEntry struct {
+	d    *daemon
+	chID rtchan.ChannelID
+}
+
+// probeBatch funds every rejoin probe staged in one dispatch round with a
+// single timer.
+type probeBatch struct {
+	n       *Network
+	entries []probeEntry
+	fire    func()
+}
+
+func (n *Network) getProbeBatch() *probeBatch {
+	if k := len(n.probeBatchFree); k > 0 {
+		b := n.probeBatchFree[k-1]
+		n.probeBatchFree[k-1] = nil
+		n.probeBatchFree = n.probeBatchFree[:k-1]
+		return b
+	}
+	b := &probeBatch{n: n}
+	b.fire = b.run
+	return b
+}
+
+// run fires the probes in staging order inside one dispatch round, so the
+// burst's rejoin-requests coalesce into per-link frames.
+func (b *probeBatch) run() {
+	opened := b.n.beginRound()
+	for _, e := range b.entries {
+		e.d.probeFire(e.chID)
+	}
+	if opened {
+		b.n.endRound()
+	}
+	b.entries = b.entries[:0]
+	b.n.probeBatchFree = append(b.n.probeBatchFree, b)
+}
+
+// replBatch funds every replenishment requested in one dispatch round with a
+// single timer: the connection IDs are payload, not captures. Replenish has
+// no cancellation path (the fire re-checks the backup count), so no
+// generation bookkeeping is needed.
+type replBatch struct {
+	n     *Network
+	conns []rtchan.ConnID
+	fire  func()
+}
+
+func (n *Network) getReplBatch() *replBatch {
+	if k := len(n.replBatchFree); k > 0 {
+		b := n.replBatchFree[k-1]
+		n.replBatchFree[k-1] = nil
+		n.replBatchFree = n.replBatchFree[:k-1]
+		return b
+	}
+	b := &replBatch{n: n}
+	b.fire = b.run
+	return b
+}
+
+func (b *replBatch) run() {
+	for _, c := range b.conns {
+		b.n.replenishNow(c)
+	}
+	b.conns = b.conns[:0]
+	b.n.replBatchFree = append(b.n.replBatchFree, b)
+}

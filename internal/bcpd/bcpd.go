@@ -90,6 +90,13 @@ type Config struct {
 	// ReplenishTarget is the backup count to restore (default 1).
 	ReplenishTarget int
 
+	// PerMessageDispatch disables dispatch rounds (round.go): every control
+	// is submitted, every rejoin timer armed, and every claim released one
+	// at a time, as the engine did before batching. The protocol outcome is
+	// identical — this exists as the A/B baseline for the batched fan-out
+	// benchmarks and the equivalence property tests.
+	PerMessageDispatch bool
+
 	// HeartbeatInterval enables heartbeat-based failure detection: every
 	// daemon emits a heartbeat per outgoing link at this interval, and the
 	// downstream neighbor declares the link failed after HeartbeatMiss
@@ -214,6 +221,16 @@ type Network struct {
 	dataOut      int
 	chanListFree [][]rtchan.ChannelID
 
+	// perMsg mirrors cfg.PerMessageDispatch; round is the dispatch-round
+	// staging area (round.go), inert while perMsg is set.
+	perMsg bool
+	round  dispatchRound
+	// Pools for the round's batch timers (batchtimer.go): a fired batch
+	// recycles its entry storage and its single prebuilt fire closure.
+	rejoinBatchFree []*rejoinBatch
+	probeBatchFree  []*probeBatch
+	replBatchFree   []*replBatch
+
 	stats Stats
 }
 
@@ -315,11 +332,19 @@ func NewOn(rt runtime.Runtime, tr Transport, mgr *core.Manager, cfg Config) *Net
 
 		em:        trace.NewEmitter(cfg.Sink),
 		framePool: &rcc.BufferPool{},
+		perMsg:    cfg.PerMessageDispatch,
 	}
+	n.round.pending = make([][]wireControl, g.NumLinks())
 	// The resource plane shares the sink so claim-path events (claim,
 	// release, convert, preempt, rejoin re-registration) interleave with the
 	// protocol's, timestamped by the same clock.
 	mgr.SetProtocolTrace(cfg.Sink, rt)
+	// Coalesced reconfiguration rides with dispatch rounds: the batched
+	// engine re-derives each touched link's Π structure only when a primary
+	// change actually invalidated it, while the per-message baseline keeps
+	// the pre-batching eager rebuild (see core/reconfig.go; the protocol
+	// outcome is identical either way).
+	mgr.SetCoalescedReconfig(!cfg.PerMessageDispatch)
 	for i := range n.nodes {
 		n.nodes[i] = newDaemon(n, topology.NodeID(i))
 	}
@@ -339,20 +364,34 @@ func NewOn(rt runtime.Runtime, tr Transport, mgr *core.Manager, cfg Config) *Net
 				inner(frame)
 			}
 		}
-		lr.rccE = rcc.NewEndpoint(rt, cfg.RCC, send,
-			func(c wireControl) {
-				d := n.nodes[l.From]
-				if n.em.Enabled() && !d.dead {
-					switch c.Type {
-					case wire.MsgFailureReport:
-						n.emitHop(trace.KindReportHop, rev, l.From, rtchan.ChannelID(c.Channel))
-					case wire.MsgActivation:
-						n.emitHop(trace.KindActivationHop, rev, l.From, rtchan.ChannelID(c.Channel))
-					}
+		recvOne := func(c wireControl) {
+			d := n.nodes[l.From]
+			if n.em.Enabled() && !d.dead {
+				switch c.Type {
+				case wire.MsgFailureReport:
+					n.emitHop(trace.KindReportHop, rev, l.From, rtchan.ChannelID(c.Channel))
+				case wire.MsgActivation:
+					n.emitHop(trace.KindActivationHop, rev, l.From, rtchan.ChannelID(c.Channel))
 				}
-				d.handleControl(c)
-			},
-		)
+			}
+			d.handleControl(c)
+		}
+		lr.rccE = rcc.NewEndpoint(rt, cfg.RCC, send, recvOne)
+		if !cfg.PerMessageDispatch {
+			// Batched delivery: the daemon processes the whole in-frame
+			// control batch inside one dispatch round, so the fan-out those
+			// controls trigger is staged and flushed per link rather than
+			// submitted per message.
+			lr.rccE.SetBatchReceiver(func(cs []wireControl) {
+				opened := n.beginRound()
+				for i := range cs {
+					recvOne(cs[i])
+				}
+				if opened {
+					n.endRound()
+				}
+			})
+		}
 		lr.rccE.SetTrace(cfg.Sink, l.From, l.ID)
 		lr.rccE.SetBufferPool(n.framePool)
 		n.links[l.ID] = lr
@@ -518,6 +557,7 @@ func (n *Network) TeardownConnection(connID rtchan.ConnID) error {
 			Conn: connID,
 		})
 	}
+	opened := n.beginRound()
 	for _, ch := range conn.Channels() {
 		n.retired[ch.ID] = ch
 		src := n.nodes[ch.Path.Source()]
@@ -534,45 +574,61 @@ func (n *Network) TeardownConnection(connID rtchan.ConnID) error {
 			Toward:  1,
 		})
 	}
+	if opened {
+		n.endRound()
+	}
 	return n.mgr.Teardown(connID)
 }
 
 // scheduleReplenish restores the connection's backup population after a
-// recovery, once the configured delay passes (§4.4).
+// recovery, once the configured delay passes (§4.4). Inside a dispatch round
+// the request is staged — endRound funds every request of the round with one
+// shared batch timer (batchtimer.go); otherwise (and always in the
+// per-message baseline) a private timer with a fresh closure is scheduled.
 func (n *Network) scheduleReplenish(connID rtchan.ConnID) {
 	if n.cfg.ReplenishDelay <= 0 {
 		return
 	}
+	if r := &n.round; r.active {
+		r.repl = append(r.repl, connID)
+		return
+	}
+	n.rt.Schedule(n.cfg.ReplenishDelay, func() { n.replenishNow(connID) })
+}
+
+// replenishNow re-checks the connection's backup count and establishes
+// replacements if it is short — the §4.4 replenishment action, shared by
+// both timer flavors. Duplicate requests are harmless: the first fire
+// restores the target and the rest see a full population.
+func (n *Network) replenishNow(connID rtchan.ConnID) {
 	target := n.cfg.ReplenishTarget
 	if target <= 0 {
 		target = 1
 	}
-	n.rt.Schedule(n.cfg.ReplenishDelay, func() {
-		conn := n.mgr.Connection(connID)
-		if conn == nil || conn.Primary == nil || len(conn.Backups) >= target {
-			return
-		}
-		alpha := 1
-		if len(conn.Degrees) > 0 {
-			alpha = conn.Degrees[len(conn.Degrees)-1]
-		}
-		before := len(conn.Backups)
-		added, err := n.mgr.ReplenishBackups(connID, target, alpha, func(l topology.LinkID) bool {
-			return n.links[l].down
-		})
-		if err != nil || added == 0 {
-			return
-		}
-		n.stats.BackupsReplenished += uint64(added)
-		for _, b := range conn.Backups[before:] {
-			if n.em.Enabled() {
-				n.emitChan(trace.KindReplenish, conn.Src, b.ID, int64(b.Path.Hops()))
-			}
-			for _, v := range b.Path.Nodes() {
-				n.nodes[v].install(b, stateB)
-			}
-		}
+	conn := n.mgr.Connection(connID)
+	if conn == nil || conn.Primary == nil || len(conn.Backups) >= target {
+		return
+	}
+	alpha := 1
+	if len(conn.Degrees) > 0 {
+		alpha = conn.Degrees[len(conn.Degrees)-1]
+	}
+	before := len(conn.Backups)
+	added, err := n.mgr.ReplenishBackups(connID, target, alpha, func(l topology.LinkID) bool {
+		return n.links[l].down
 	})
+	if err != nil || added == 0 {
+		return
+	}
+	n.stats.BackupsReplenished += uint64(added)
+	for _, b := range conn.Backups[before:] {
+		if n.em.Enabled() {
+			n.emitChan(trace.KindReplenish, conn.Src, b.ID, int64(b.Path.Hops()))
+		}
+		for _, v := range b.Path.Nodes() {
+			n.nodes[v].install(b, stateB)
+		}
+	}
 }
 
 // deliverFrame dispatches a control frame that arrived at the far end of
@@ -630,6 +686,10 @@ func (n *Network) reclaimData(p *dataPayload) { n.putDataBox(p) }
 // receiver by the channel state machine (duplicates in state U, unknown
 // channels after teardown).
 func (n *Network) submitControl(l topology.LinkID, c wireControl) {
+	if n.round.active {
+		n.stageControl(l, c)
+		return
+	}
 	n.links[l].rccE.Submit(c)
 }
 

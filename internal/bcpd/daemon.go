@@ -41,8 +41,23 @@ type daemon struct {
 	id   topology.NodeID
 	dead bool
 
-	states       map[rtchan.ChannelID]chanState
-	rejoinTimers map[rtchan.ChannelID]sim.Timer
+	states map[rtchan.ChannelID]chanState
+	// rejoinTimers holds each armed channel's live rejoin timer: a private
+	// sim.Timer in the per-message engine, or a slot in a shared pooled
+	// rejoinBatch under batched dispatch (round.go) — one heap entry and one
+	// closure for every channel armed in a round, instead of one each per
+	// channel.
+	rejoinTimers map[rtchan.ChannelID]rejoinRef
+	// rejoinStaged maps a channel to its staged arm's index in the current
+	// dispatch round (round.go), so a re-arm in the same round dedups and a
+	// stop cancels the staged arm before it ever becomes a timer.
+	rejoinStaged map[rtchan.ChannelID]int
+	// probeFns caches the rejoin-probe callbacks per channel: the closures
+	// capture only stable identity (id, conn, path copy), so one build
+	// amortizes across fail/repair cycles. Dropped with the rest of the soft
+	// state when the channel returns to N. Unused (fresh closures per arm)
+	// under PerMessageDispatch.
+	probeFns map[rtchan.ChannelID]func()
 	// paths is the daemon's own copy of each installed channel's route —
 	// the forwarding soft state a real daemon keeps. It outlives the
 	// resource plane's registry entry so teardown closures can still be
@@ -59,7 +74,9 @@ func newDaemon(n *Network, id topology.NodeID) *daemon {
 		net:                n,
 		id:                 id,
 		states:             make(map[rtchan.ChannelID]chanState),
-		rejoinTimers:       make(map[rtchan.ChannelID]sim.Timer),
+		rejoinTimers:       make(map[rtchan.ChannelID]rejoinRef),
+		rejoinStaged:       make(map[rtchan.ChannelID]int),
+		probeFns:           make(map[rtchan.ChannelID]func()),
 		paths:              make(map[rtchan.ChannelID]topology.Path),
 		knownFailedBackups: make(map[rtchan.ChannelID]bool),
 	}
@@ -74,6 +91,7 @@ func (d *daemon) setState(ch rtchan.ChannelID, s chanState) {
 		delete(d.states, ch)
 		delete(d.paths, ch)
 		delete(d.knownFailedBackups, ch)
+		delete(d.probeFns, ch)
 	} else {
 		d.states[ch] = s
 	}
@@ -224,9 +242,7 @@ func (d *daemon) endNodeFailureAction(ch *rtchan.Channel) {
 	if ch.Role == rtchan.RoleBackup {
 		d.knownFailedBackups[ch.ID] = true
 		// Abandon any claims the dead activation holds.
-		for _, l := range ch.Path.Links() {
-			d.net.mgr.ReleaseClaimFor(l, ch.ID)
-		}
+		d.releaseClaims(ch)
 	}
 	isPrimary := conn.Primary != nil && conn.Primary.ID == ch.ID
 	// A failed backup matters when the primary is already down: the end
@@ -472,65 +488,128 @@ func (d *daemon) muxFailure(b *rtchan.Channel) {
 	if d.net.em.Enabled() {
 		d.net.emitChan(trace.KindMuxFailure, d.id, b.ID, 0)
 	}
-	for _, l := range b.Path.Links() {
-		d.net.mgr.ReleaseClaimFor(l, b.ID)
-	}
+	d.releaseClaims(b)
 	d.reportBothWays(b)
+}
+
+// releaseClaims abandons every claim ch holds along its path: one manager
+// lock under batched dispatch, one per link in the per-message baseline.
+func (d *daemon) releaseClaims(ch *rtchan.Channel) {
+	if d.net.perMsg {
+		for _, l := range ch.Path.Links() {
+			d.net.mgr.ReleaseClaimFor(l, ch.ID)
+		}
+		return
+	}
+	d.net.mgr.ReleaseClaimBatch(ch.Path.Links(), ch.ID)
 }
 
 // --- Soft-state rejoin (§4.4, Figure 6) --------------------------------
 
 func (d *daemon) armRejoinTimer(ch *rtchan.Channel) {
-	if t := d.rejoinTimers[ch.ID]; t.Active() {
+	if r := d.rejoinTimers[ch.ID]; r.active() {
 		return
 	}
-	chID := ch.ID
-	connID := ch.Conn
-	path := ch.Path
-	d.rejoinTimers[chID] = d.net.rt.Schedule(d.net.cfg.RejoinTimeout, func() {
-		if d.dead || d.states[chID] != stateU {
+	if r := &d.net.round; r.active {
+		// Stage the arm; endRound funds every staged arm with one shared
+		// batch timer (they all share RejoinTimeout, so staging order is
+		// firing order) — no per-channel closure, no per-channel heap entry.
+		if _, staged := d.rejoinStaged[ch.ID]; staged {
 			return
 		}
-		d.net.stats.RejoinExpiries++
-		if d.net.em.Enabled() {
-			d.net.emitChan(trace.KindRejoinExpire, d.id, chID, 0)
+		d.rejoinStaged[ch.ID] = len(r.arms)
+		r.arms = append(r.arms, rejoinArm{d: d, chID: ch.ID, connID: ch.Conn, path: ch.Path})
+		return
+	}
+	chID, connID, path := ch.ID, ch.Conn, ch.Path
+	d.rejoinTimers[ch.ID] = rejoinRef{t: d.net.rt.Schedule(d.net.cfg.RejoinTimeout, func() {
+		if r := d.rejoinTimers[chID]; r.batch == nil {
+			delete(d.rejoinTimers, chID)
 		}
-		d.setState(chID, stateN)
-		// First expiry reclaims the channel's resources network-wide; the
-		// call is idempotent across nodes.
-		_ = d.net.mgr.TeardownChannel(connID, chID)
-		// Announce the teardown both ways. Nodes still in U reclaim on
-		// their own timers, but a node that a straggling rejoin confirm
-		// converted to B — stopping its timer — learns of the death only
-		// from this closure.
-		for _, toward := range [2]int8{1, -1} {
-			d.forwardAlongPath(path, wireControl{
-				Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: toward,
-			})
-		}
-	})
+		d.rejoinExpire(chID, connID, path)
+	})}
+}
+
+// rejoinExpire is the rejoin-timer expiry action: the channel's soft state
+// never rejoined, so it is gone for good and its resources are reclaimed
+// network-wide. Called from a batch entry under batched dispatch, or from a
+// per-channel closure in the per-message baseline.
+func (d *daemon) rejoinExpire(chID rtchan.ChannelID, connID rtchan.ConnID, path topology.Path) {
+	if d.dead || d.states[chID] != stateU {
+		return
+	}
+	d.net.stats.RejoinExpiries++
+	if d.net.em.Enabled() {
+		d.net.emitChan(trace.KindRejoinExpire, d.id, chID, 0)
+	}
+	d.setState(chID, stateN)
+	// First expiry reclaims the channel's resources network-wide; the
+	// call is idempotent across nodes.
+	_ = d.net.mgr.TeardownChannel(connID, chID)
+	// Announce the teardown both ways. Nodes still in U reclaim on
+	// their own timers, but a node that a straggling rejoin confirm
+	// converted to B — stopping its timer — learns of the death only
+	// from this closure.
+	for _, toward := range [2]int8{1, -1} {
+		d.forwardAlongPath(path, wireControl{
+			Type: wire.MsgChannelClosure, Channel: int64(chID), Origin: int32(d.id), Toward: toward,
+		})
+	}
+	// The channel is gone for good; if replenishment is on, the source
+	// restores the connection's backup count (§4.4). The activation-time
+	// trigger cannot cover this case: a backup lost to an unrepaired
+	// failure never activates anything, and until this teardown the dead
+	// channel still counted toward the target.
+	if d.id == path.Source() {
+		d.net.scheduleReplenish(connID)
+	}
 }
 
 // scheduleRejoinProbe sends a rejoin-request along the failed channel after
-// the probe delay, if the channel is still unhealthy.
+// the probe delay, if the channel is still unhealthy. Inside a dispatch
+// round the probe is staged — endRound funds the round's probes with one
+// shared batch timer (batchtimer.go, they all share RejoinProbeDelay);
+// otherwise a private timer with a per-channel closure is scheduled.
 func (d *daemon) scheduleRejoinProbe(ch *rtchan.Channel) {
-	chID := ch.ID
-	d.net.rt.Schedule(d.net.cfg.RejoinProbeDelay, func() {
-		if d.dead || d.states[chID] != stateU {
-			return
-		}
-		c := d.channel(chID)
-		if c == nil {
-			return
-		}
-		d.net.stats.RejoinRequests++
-		if d.net.em.Enabled() {
-			d.net.emitChan(trace.KindRejoinRequest, d.id, chID, 0)
-		}
-		d.forwardAlong(c, wireControl{
-			Type: wire.MsgRejoinRequest, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
-		})
+	if r := &d.net.round; r.active {
+		r.probes = append(r.probes, probeEntry{d: d, chID: ch.ID})
+		return
+	}
+	d.net.rt.Schedule(d.net.cfg.RejoinProbeDelay, d.probeFireFn(ch))
+}
+
+// probeFire is the probe-timer expiry action: if the channel is still
+// unhealthy here, send a rejoin-request toward the destination.
+func (d *daemon) probeFire(chID rtchan.ChannelID) {
+	if d.dead || d.states[chID] != stateU {
+		return
+	}
+	c := d.channel(chID)
+	if c == nil {
+		return
+	}
+	d.net.stats.RejoinRequests++
+	if d.net.em.Enabled() {
+		d.net.emitChan(trace.KindRejoinRequest, d.id, chID, 0)
+	}
+	d.forwardAlong(c, wireControl{
+		Type: wire.MsgRejoinRequest, Channel: int64(chID), Origin: int32(d.id), Toward: 1,
 	})
+}
+
+// probeFireFn returns the rejoin-probe callback for ch, cached per channel
+// outside per-message mode. Only non-round arms build closures at all —
+// round-staged probes ride a batch timer.
+func (d *daemon) probeFireFn(ch *rtchan.Channel) func() {
+	if fn, ok := d.probeFns[ch.ID]; ok {
+		return fn
+	}
+	chID := ch.ID
+	fn := func() { d.probeFire(chID) }
+	if !d.net.perMsg {
+		d.probeFns[chID] = fn
+	}
+	return fn
 }
 
 func (d *daemon) handleRejoinRequest(c wireControl) {
@@ -640,8 +719,12 @@ func (d *daemon) handleClosure(c wireControl) {
 }
 
 func (d *daemon) stopRejoinTimer(chID rtchan.ChannelID) {
-	if t, ok := d.rejoinTimers[chID]; ok {
-		t.Stop()
+	if i, ok := d.rejoinStaged[chID]; ok {
+		d.net.round.arms[i].cancelled = true
+		delete(d.rejoinStaged, chID)
+	}
+	if r, ok := d.rejoinTimers[chID]; ok {
+		r.stop()
 		delete(d.rejoinTimers, chID)
 	}
 }

@@ -87,6 +87,7 @@ func (n *Network) declareLinkFailure(l topology.LinkID) {
 		n.emitComponent(trace.KindDetect, lk.To, l)
 	}
 	scheme := n.cfg.Scheme
+	opened := n.beginRound()
 	for _, chID := range n.mgr.Network().ChannelsOnLink(l) {
 		if scheme == Scheme1 || scheme == Scheme3 {
 			n.nodes[lk.To].originateFailureReport(chID, +1)
@@ -102,6 +103,9 @@ func (n *Network) declareLinkFailure(l topology.LinkID) {
 			Origin:  int32(lk.To),
 			Toward:  1,
 		})
+	}
+	if opened {
+		n.endRound()
 	}
 }
 

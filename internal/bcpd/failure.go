@@ -28,8 +28,14 @@ func (n *Network) FailLink(l topology.LinkID) {
 	lk := n.mgr.Graph().Link(l)
 	affected := append(n.getChanList(), n.mgr.Network().ChannelsOnLink(l)...)
 	n.rt.Schedule(n.cfg.DetectionLatency, func() {
+		// One dispatch round for the whole fan-out: every report this
+		// detection originates is staged and flushed per neighbor link.
+		opened := n.beginRound()
 		for _, chID := range affected {
 			n.reportComponentFailure(chID, lk.From, lk.To)
+		}
+		if opened {
+			n.endRound()
 		}
 		n.putChanList(affected)
 	})
@@ -88,6 +94,15 @@ func (n *Network) FailNode(v topology.NodeID) {
 	affected := append(n.getChanList(), n.mgr.Network().ChannelsAtNode(v)...)
 	n.rt.Schedule(n.cfg.DetectionLatency, func() {
 		defer n.putChanList(affected)
+		// A node failure is the widest fan-out in the protocol: every
+		// channel through the node reports from both surviving neighbors.
+		// One round batches all of it.
+		opened := n.beginRound()
+		defer func() {
+			if opened {
+				n.endRound()
+			}
+		}()
 		for _, chID := range affected {
 			ch := n.mgr.Network().Channel(chID)
 			if ch == nil {

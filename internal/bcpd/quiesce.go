@@ -95,7 +95,7 @@ func (n *Network) CheckQuiescence() []string {
 		if len(d.rejoinTimers) > 0 {
 			armed := 0
 			for _, t := range d.rejoinTimers {
-				if t.Active() {
+				if t.active() {
 					armed++
 				}
 			}
@@ -135,7 +135,7 @@ func (n *Network) CheckQuiescence() []string {
 	if claims := n.mgr.OutstandingClaims(); claims > 0 {
 		v = append(v, fmt.Sprintf("%d spare-bandwidth claims leaked", claims))
 	}
-	return v
+	return n.checkRoundQuiescence(v)
 }
 
 // ConnectionEstablished reports whether the connection exists with a healthy

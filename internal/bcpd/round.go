@@ -1,0 +1,175 @@
+package bcpd
+
+import (
+	"fmt"
+
+	"github.com/rtcl/bcp/internal/rtchan"
+	"github.com/rtcl/bcp/internal/topology"
+)
+
+// Dispatch rounds batch the protocol's fan-out. A mass failure makes one
+// event — a received control frame, a detection timer — touch many channels,
+// and the per-message engine paid per message: one rcc.Submit (timer-heap
+// push + tx-timer check) per control, one Schedule per rejoin arm, one
+// manager lock acquisition per released link. A round brackets such an event
+// and coalesces everything it emits:
+//
+//   - controls staged per outgoing link, flushed as one SubmitBatch per
+//     neighbor in first-touch order (the RCC packs them into S^RCC_max-sized
+//     frames exactly as sequential Submits would, since no frame fires
+//     mid-callback);
+//   - rejoin arms staged and armed as ONE pooled batch timer carrying a flat
+//     entry list (batchtimer.go) — no per-channel closures; they all share
+//     RejoinTimeout, so they tie only with each other and staging order
+//     preserves the per-message firing order;
+//   - replenishments requested during the round staged and scheduled as one
+//     batch timer the same way (they all share ReplenishDelay);
+//   - claim releases batched through core.ReleaseClaimBatch (one lock, one
+//     traversal) at the call sites themselves.
+//
+// Rounds never nest: control delivery is event-driven, so no frame arrives
+// and no timer fires while a callback runs. beginRound reports whether it
+// opened the round, and only the opener closes it, which makes wrapping
+// re-entrant call paths (a notify handler already inside a delivery round)
+// safe. Config.PerMessageDispatch disables rounds entirely, keeping the
+// sequential engine as the A/B baseline.
+
+// rejoinArm is one staged rejoin-timer arming: the channel identity the
+// expiry needs, no closure. cancelled marks an arm whose channel was stopped
+// again before the round closed (rejoin confirm racing a report in the same
+// frame); it is skipped at flush, exactly as the per-message path's
+// Schedule-then-Stop leaves no live timer.
+type rejoinArm struct {
+	d         *daemon
+	chID      rtchan.ChannelID
+	connID    rtchan.ConnID
+	path      topology.Path
+	cancelled bool
+}
+
+// dispatchRound is the Network's staging area, reused across rounds.
+type dispatchRound struct {
+	active bool
+	// links lists the LinkIDs touched this round in first-touch order —
+	// the order the per-message path would have armed their tx timers in.
+	links []topology.LinkID
+	// pending[l] holds the controls staged for link l, in submit order.
+	pending [][]wireControl
+	arms    []rejoinArm
+	// probes holds the rejoin probes staged this round, in request order.
+	probes []probeEntry
+	// repl holds the connections whose replenishment was requested this
+	// round, in request order.
+	repl []rtchan.ConnID
+}
+
+// beginRound opens a dispatch round and reports whether this caller opened
+// it (and therefore must close it). Returns false when rounds are disabled
+// or one is already active.
+func (n *Network) beginRound() bool {
+	if n.perMsg || n.round.active {
+		return false
+	}
+	n.round.active = true
+	return true
+}
+
+// endRound closes the round: staged controls flush as one SubmitBatch per
+// touched link, then staged rejoin arms and replenish requests each become
+// one live batch timer. Flushing happens inside the event that staged the
+// work — same virtual timestamp, no intervening events — so the resulting
+// frame and timer schedules are identical to the per-message path's.
+func (n *Network) endRound() {
+	r := &n.round
+	r.active = false
+	for _, l := range r.links {
+		n.links[l].rccE.SubmitBatch(r.pending[l])
+		r.pending[l] = r.pending[l][:0]
+	}
+	r.links = r.links[:0]
+	n.flushRejoinArms()
+	n.flushProbes()
+	n.flushReplenish()
+}
+
+// stageControl queues c for link l until the round closes.
+func (n *Network) stageControl(l topology.LinkID, c wireControl) {
+	r := &n.round
+	if len(r.pending[l]) == 0 {
+		r.links = append(r.links, l)
+	}
+	r.pending[l] = append(r.pending[l], c)
+}
+
+// flushRejoinArms turns the round's staged arms into ONE live batch timer
+// (batchtimer.go): a single heap insert and zero per-channel closures.
+// Cancelled arms are dropped; survivors keep their staging order, which is
+// the order the per-message path would have Scheduled them in.
+func (n *Network) flushRejoinArms() {
+	r := &n.round
+	if len(r.arms) == 0 {
+		return
+	}
+	b := n.getRejoinBatch()
+	for i := range r.arms {
+		a := &r.arms[i]
+		delete(a.d.rejoinStaged, a.chID)
+		if a.cancelled {
+			continue
+		}
+		idx := int32(len(b.entries))
+		b.entries = append(b.entries, rejoinEntry{d: a.d, chID: a.chID, connID: a.connID, path: a.path})
+		a.d.rejoinTimers[a.chID] = rejoinRef{batch: b, idx: idx, gen: b.gen}
+	}
+	for i := range r.arms {
+		r.arms[i] = rejoinArm{}
+	}
+	r.arms = r.arms[:0]
+	if len(b.entries) == 0 {
+		n.rejoinBatchFree = append(n.rejoinBatchFree, b)
+		return
+	}
+	n.rt.Schedule(n.cfg.RejoinTimeout, b.fire)
+}
+
+// flushProbes schedules the round's staged rejoin probes as one batch
+// timer, in request order.
+func (n *Network) flushProbes() {
+	r := &n.round
+	if len(r.probes) == 0 {
+		return
+	}
+	b := n.getProbeBatch()
+	b.entries = append(b.entries, r.probes...)
+	for i := range r.probes {
+		r.probes[i] = probeEntry{}
+	}
+	r.probes = r.probes[:0]
+	n.rt.Schedule(n.cfg.RejoinProbeDelay, b.fire)
+}
+
+// flushReplenish schedules the round's staged replenish requests as one
+// batch timer, in request order.
+func (n *Network) flushReplenish() {
+	r := &n.round
+	if len(r.repl) == 0 {
+		return
+	}
+	b := n.getReplBatch()
+	b.conns = append(b.conns, r.repl...)
+	r.repl = r.repl[:0]
+	n.rt.Schedule(n.cfg.ReplenishDelay, b.fire)
+}
+
+// checkRoundQuiescence audits the staging area between events; any residue
+// means a round opener failed to close (appended to CheckQuiescence).
+func (n *Network) checkRoundQuiescence(v []string) []string {
+	if n.round.active {
+		v = append(v, "dispatch round left open")
+	}
+	if len(n.round.links) > 0 || len(n.round.arms) > 0 || len(n.round.probes) > 0 || len(n.round.repl) > 0 {
+		v = append(v, fmt.Sprintf("dispatch round residue: %d staged links, %d staged arms, %d staged probes, %d staged replenishes",
+			len(n.round.links), len(n.round.arms), len(n.round.probes), len(n.round.repl)))
+	}
+	return v
+}

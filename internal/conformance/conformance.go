@@ -56,8 +56,8 @@ type Violation struct {
 	Seq int
 	// At is the simulated time of the offending event.
 	At sim.Time
-	// Rule names the invariant: "order", "state-machine", "claim", "gamma",
-	// or "traversal".
+	// Rule names the invariant: "order", "state-machine", "batch-order",
+	// "claim", "gamma", or "traversal".
 	Rule string
 	// Detail is a human-readable description.
 	Detail string
@@ -76,6 +76,20 @@ var legalEdges = [4][4]bool{
 	trace.StateB: {trace.StateP: true, trace.StateU: true, trace.StateN: true},
 	trace.StateU: {trace.StateB: true, trace.StateN: true},
 }
+
+// intraBatchLegal is legalEdges restricted at batch boundaries: within one
+// timestamp at one (node, channel) — a delivered control frame or a dispatch
+// round, which execute instantaneously in simulated time — N is absorbing.
+// Re-installation (N→P, N→B) is always a separately-timed event (an
+// establishment, a replenish timer), so a same-timestamp departure from N
+// means the dispatcher processed a stale control against a channel a
+// same-batch closure had already killed.
+var intraBatchLegal = func() [4][4]bool {
+	e := legalEdges
+	e[trace.StateN][trace.StateP] = false
+	e[trace.StateN][trace.StateB] = false
+	return e
+}()
 
 type nodeChan struct {
 	node topology.NodeID
@@ -106,6 +120,9 @@ type Checker struct {
 	seq        int
 	lastAt     sim.Time
 	nodeStates map[nodeChan]trace.State
+	// nReachedAt records when each (node, channel) last transitioned to N,
+	// for the batch-order rule (N absorbing within one timestamp).
+	nReachedAt map[nodeChan]sim.Time
 	claims     map[linkChan]bool
 	linkDown   map[topology.LinkID]sim.Time
 	nodeDown   map[topology.NodeID]sim.Time
@@ -120,6 +137,7 @@ func New(p Params) *Checker {
 	return &Checker{
 		p:          p,
 		nodeStates: make(map[nodeChan]trace.State),
+		nReachedAt: make(map[nodeChan]sim.Time),
 		claims:     make(map[linkChan]bool),
 		linkDown:   make(map[topology.LinkID]sim.Time),
 		nodeDown:   make(map[topology.NodeID]sim.Time),
@@ -190,8 +208,16 @@ func (c *Checker) Emit(ev trace.Event) {
 				"node %d channel %d: illegal Figure-4 edge %v->%v",
 				ev.Node, ev.Channel, ev.From, ev.To)
 		}
+		if ev.From == trace.StateN {
+			if nAt, sawN := c.nReachedAt[key]; sawN && nAt == ev.At && !intraBatchLegal[ev.From][ev.To] {
+				c.violate(ev, "batch-order",
+					"node %d channel %d: left N at the same instant it was torn down (%v->%v inside one batch)",
+					ev.Node, ev.Channel, ev.From, ev.To)
+			}
+		}
 		if ev.To == trace.StateN {
 			delete(c.nodeStates, key)
+			c.nReachedAt[key] = ev.At
 		} else {
 			c.nodeStates[key] = ev.To
 		}

@@ -156,6 +156,39 @@ func TestGammaCountsFailedBackupsInRetrialTerm(t *testing.T) {
 	}
 }
 
+func TestBatchOrderNAbsorbingWithinTimestamp(t *testing.T) {
+	// A channel torn down and re-installed at the same node within one
+	// timestamp means a batched dispatcher ran a stale control after a
+	// same-frame closure: N must be absorbing inside a batch.
+	events := []trace.Event{
+		{At: 0, Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateN, To: trace.StateB},
+		{At: ms(10), Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateB, To: trace.StateN},
+		{At: ms(10), Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateN, To: trace.StateB},
+	}
+	wantRule(t, Check(events, Params{}), "batch-order", "same instant")
+
+	// The same re-installation one tick later is an ordinary Figure-4 cycle.
+	legal := []trace.Event{
+		{At: 0, Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateN, To: trace.StateB},
+		{At: ms(10), Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateB, To: trace.StateN},
+		{At: ms(11), Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateN, To: trace.StateB},
+	}
+	if viols := Check(legal, Params{}); len(viols) != 0 {
+		t.Fatalf("later re-installation flagged: %v", viols)
+	}
+
+	// Distinct nodes tearing down and installing at one timestamp are
+	// independent machines — no batch shares them.
+	other := []trace.Event{
+		{At: 0, Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateN, To: trace.StateB},
+		{At: ms(10), Kind: trace.KindState, Node: 0, Link: topology.NoLink, Channel: 1, From: trace.StateB, To: trace.StateN},
+		{At: ms(10), Kind: trace.KindState, Node: 1, Link: topology.NoLink, Channel: 1, From: trace.StateN, To: trace.StateB},
+	}
+	if viols := Check(other, Params{}); len(viols) != 0 {
+		t.Fatalf("independent node flagged: %v", viols)
+	}
+}
+
 func TestOutOfOrderTimestampsFlagged(t *testing.T) {
 	events := []trace.Event{
 		{At: ms(10), Kind: trace.KindLinkDown, Node: topology.NoNode, Link: 1},

@@ -42,10 +42,10 @@ func TestMultiFailureEdgeLegality(t *testing.T) {
 			name: "repair races promotion",
 			steps: []step{
 				{0, trace.StateN, trace.StateB, 0},
-				{10, trace.StateB, trace.StateP, 0},  // promoted
-				{20, trace.StateP, trace.StateU, 0},  // primary-path failure
-				{30, trace.StateU, trace.StateB, 0},  // rejoined after repair
-				{40, trace.StateB, trace.StateP, 0},  // promoted again
+				{10, trace.StateB, trace.StateP, 0}, // promoted
+				{20, trace.StateP, trace.StateU, 0}, // primary-path failure
+				{30, trace.StateU, trace.StateB, 0}, // rejoined after repair
+				{40, trace.StateB, trace.StateP, 0}, // promoted again
 			},
 		},
 		{

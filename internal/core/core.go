@@ -170,6 +170,20 @@ type Manager struct {
 	trialMu sync.Mutex
 	trial   trialScratch
 
+	// touched is the writer-side touched-link scratch shared by every
+	// reconfiguration entry point (ActivateClaimed, TeardownChannel, Apply):
+	// all of them run under the write lock and none nest, so one cleared map
+	// serves each call without a per-call allocation. Recovery storms hit
+	// these paths once per promotion and once per teardown.
+	touched map[topology.LinkID]struct{}
+
+	// piStale[l] marks that link l's stored pair decisions were derived from
+	// a primary path that has since changed, so the next reconfiguration of l
+	// must take the full Π rebuild; coalesceReconfig gates whether fresh
+	// links may take the O(entries) resize instead (see reconfig.go).
+	piStale          []bool
+	coalesceReconfig bool
+
 	// traceEm/traceClock emit protocol events from the claim paths when the
 	// message-level engine attaches a sink (SetProtocolTrace). The zero
 	// Emitter is disabled: one branch per claim call, no event construction.
@@ -193,6 +207,7 @@ func NewManager(g *topology.Graph, cfg Config) *Manager {
 		nextConn: 1,
 		router:   routing.NewRouter(g),
 		estExcl:  routing.NewExclusion(),
+		piStale:  make([]bool, g.NumLinks()),
 	}
 	// Pre-warm the (1-λ)^k table past any component sum two primaries can
 	// produce (each path has at most 2(N-1)+1 components), so read-side
@@ -211,6 +226,17 @@ func (m *Manager) beginWrite() func() {
 	m.mu.Lock()
 	m.plan.epoch++
 	return m.mu.Unlock
+}
+
+// takeTouched returns the shared touched-link scratch, cleared. Callers must
+// hold the write lock; no reconfiguration entry point nests inside another,
+// so the map is never live twice.
+func (m *Manager) takeTouched() map[topology.LinkID]struct{} {
+	if m.touched == nil {
+		m.touched = make(map[topology.LinkID]struct{}, 32)
+	}
+	clear(m.touched)
+	return m.touched
 }
 
 // Network exposes the reservation substrate (read-mostly; experiments use

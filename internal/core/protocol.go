@@ -131,11 +131,42 @@ func (m *Manager) PreemptClaim(l topology.LinkID, ch rtchan.ChannelID, alpha int
 	return victim, true
 }
 
+// ClaimBatch claims bw of spare bandwidth on every link of links for backup
+// channel ch under a single write transaction. Decisions are bit-identical
+// to a sequential ClaimSpareFor loop: links are claimed in slice order and
+// the first multiplexing failure stops the batch, leaving the earlier claims
+// in place (exactly the state the abandoned loop would leave for the caller
+// to release). It returns the index of the failing link and false, or
+// len(links) and true when every claim was admitted.
+func (m *Manager) ClaimBatch(links []topology.LinkID, ch rtchan.ChannelID, bw float64) (int, bool) {
+	defer m.beginWrite()()
+	return m.claimBatch(links, ch, bw)
+}
+
+func (m *Manager) claimBatch(links []topology.LinkID, ch rtchan.ChannelID, bw float64) (int, bool) {
+	for i, l := range links {
+		if !m.claimSpareFor(l, ch, bw) {
+			return i, false
+		}
+	}
+	return len(links), true
+}
+
 // ReleaseClaimFor undoes a claim (e.g. when an activation is abandoned after
 // a downstream multiplexing failure).
 func (m *Manager) ReleaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
 	defer m.beginWrite()()
 	m.releaseClaimFor(l, ch)
+}
+
+// ReleaseClaimBatch undoes ch's claims on every link of links under a single
+// write transaction — the batched sibling of a ReleaseClaimFor loop. Links
+// holding no claim for ch are skipped, as in the sequential loop.
+func (m *Manager) ReleaseClaimBatch(links []topology.LinkID, ch rtchan.ChannelID) {
+	defer m.beginWrite()()
+	for _, l := range links {
+		m.releaseClaimFor(l, ch)
+	}
 }
 
 func (m *Manager) releaseClaimFor(l topology.LinkID, ch rtchan.ChannelID) {
@@ -184,12 +215,10 @@ func (m *Manager) ActivateClaimed(connID rtchan.ConnID, b *rtchan.Channel) error
 		return fmt.Errorf("core: unknown connection %d", connID)
 	}
 	bw := b.Bandwidth()
-	for _, l := range b.Path.Links() {
-		if !m.claimSpareFor(l, b.ID, bw) {
-			return fmt.Errorf("core: link %d has no claim and no spare for channel %d", l, b.ID)
-		}
+	if i, ok := m.claimBatch(b.Path.Links(), b.ID, bw); !ok {
+		return fmt.Errorf("core: link %d has no claim and no spare for channel %d", b.Path.Links()[i], b.ID)
 	}
-	touched := make(map[topology.LinkID]struct{})
+	touched := m.takeTouched()
 	for _, l := range b.Path.Links() {
 		lm := &m.plan.mux[l]
 		delete(lm.claims, b.ID)
@@ -221,7 +250,7 @@ func (m *Manager) TeardownChannel(connID rtchan.ConnID, ch rtchan.ChannelID) err
 	for _, l := range c.Path.Links() {
 		m.releaseClaimFor(l, ch)
 	}
-	touched := make(map[topology.LinkID]struct{})
+	touched := m.takeTouched()
 	if err := m.dropChannel(conn, c, touched); err != nil {
 		return err
 	}

@@ -632,7 +632,17 @@ func (m *Manager) dropChannel(conn *DConnection, ch *rtchan.Channel, touched map
 // backups may have to be closed or moved.
 func (m *Manager) reconfigureLinks(touched map[topology.LinkID]struct{}) error {
 	for l := range touched {
-		if err := m.recomputeLinkMux(l); err != nil {
+		var err error
+		if m.coalesceReconfig && !m.piStale[l] {
+			// The link's pair decisions are still derived from current
+			// primaries; only the pool sizing can have shifted (see
+			// reconfig.go for why this is exact, not approximate).
+			err = m.resizeLink(l)
+		} else {
+			err = m.recomputeLinkMux(l)
+			m.piStale[l] = false
+		}
+		if err != nil {
 			// Cap at headroom rather than failing recovery.
 			lm := &m.plan.mux[l]
 			head := m.plan.net.Capacity(l) - m.plan.net.Dedicated(l)

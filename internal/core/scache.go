@@ -179,9 +179,12 @@ func (m *Manager) pairS(a, b *DConnection) float64 {
 }
 
 // primaryChanged records that conn's primary channel changed (promotion,
-// demotion, loss, or replacement): every cached S involving it is stale.
+// demotion, loss, or replacement): every cached S involving it is stale,
+// and so is the Π structure of every link hosting one of its surviving
+// backups (see reconfig.go).
 func (m *Manager) primaryChanged(conn *DConnection) {
 	m.plan.scache.bump(conn.ID)
+	m.markPiStale(conn)
 }
 
 // prospectiveS memoizes S between one candidate primary path and each

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// The mass-failure storm kernels, A/B across dispatch engines. The same
+// seeded cycle sequence runs on the batched engine (dispatch rounds, bulk
+// timer arming, batched claim release, coalesced reconfiguration) and on
+// the per-message baseline; protocol behaviour is bit-identical
+// (TestStormWidePerMessageParity), so the ns/op and allocs/op gap is pure
+// dispatch mechanics. The timed region is the restoration storm
+// (CrashPhase); the repair/replenish half runs with the timer stopped —
+// re-establishing the expired channels is identical establishment work in
+// both engines and would otherwise drown the dispatch signal. cmd/bcpbench
+// records the same pair as RecoveryStormWide / RecoveryStormWide-permsg.
+func benchmarkStormWide(b *testing.B, cfg StormWideConfig) {
+	s, err := NewStormWide(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Run(len(s.Victims)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := s.CrashPhase()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.RepairPhase(v); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkStormWide(b *testing.B) {
+	benchmarkStormWide(b, StormWideConfig{Seed: 1})
+}
+
+func BenchmarkStormWidePerMessage(b *testing.B) {
+	benchmarkStormWide(b, StormWideConfig{Seed: 1, PerMessageDispatch: true})
+}
+
+func BenchmarkStormWideMesh256(b *testing.B) {
+	benchmarkStormWide(b, StormWideConfig{Seed: 1, Mesh: true})
+}

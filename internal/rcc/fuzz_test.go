@@ -79,38 +79,76 @@ func TestRandomizedDuplex(t *testing.T) {
 }
 
 // FuzzHandleFrame is the native-fuzzing upgrade of the quick.Check garbage
-// test above: arbitrary bytes into the receive path must never panic, and a
-// well-formed frame must never be delivered twice. Seeds cover a valid
-// single-control frame, a pure ack, and truncations of both.
+// test above: arbitrary bytes into the receive path must never panic, a
+// well-formed frame must never be delivered twice, and batched delivery
+// (SetBatchReceiver) must deliver exactly what per-message delivery does, in
+// the same order with the same counters. Inline seeds cover a valid
+// single-control frame, multi-control and budget-full frames, a pure ack,
+// and truncations; testdata/fuzz/FuzzHandleFrame carries frames harvested
+// from protocol storm runs (regenerate with bcpd's TestHarvestRCCFuzzCorpus).
 func FuzzHandleFrame(f *testing.F) {
-	valid, err := (wire.Frame{Seq: 1, Ack: 0, Controls: []wire.Control{
+	mustMarshal := func(fr wire.Frame) []byte {
+		data, err := fr.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	valid := mustMarshal(wire.Frame{Seq: 1, Ack: 0, Controls: []wire.Control{
 		{Type: wire.MsgFailureReport, Channel: 7, Origin: 3, Toward: -1},
-	}}).Marshal()
-	if err != nil {
-		f.Fatal(err)
+	}})
+	multi := mustMarshal(wire.Frame{Seq: 1, Ack: 2, Controls: []wire.Control{
+		{Type: wire.MsgFailureReport, Channel: 7, Origin: 3, Toward: -1},
+		{Type: wire.MsgActivation, Channel: 9, Origin: 3, Toward: 1},
+		{Type: wire.MsgChannelClosure, Channel: 7, Origin: 3, Toward: 1},
+	}})
+	fullBatch := make([]wire.Control, wire.MaxControlsForBudget(DefaultParams().SMax))
+	for i := range fullBatch {
+		fullBatch[i] = wire.Control{Type: wire.MsgActivation, Channel: int64(i + 1), Origin: 5, Toward: 1}
 	}
-	pureAck, err := (wire.Frame{Seq: 0, Ack: 5}).Marshal()
-	if err != nil {
-		f.Fatal(err)
-	}
+	full := mustMarshal(wire.Frame{Seq: 1, Controls: fullBatch})
+	pureAck := mustMarshal(wire.Frame{Seq: 0, Ack: 5})
 	f.Add(valid)
+	f.Add(multi)
+	f.Add(full)
 	f.Add(pureAck)
 	f.Add(valid[:len(valid)-3])
+	f.Add(multi[:len(multi)-2])
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng := sim.New(1)
-		delivered := 0
-		e := NewEndpoint(eng, DefaultParams(), func([]byte) {}, func(wire.Control) {
-			delivered++
+		var seqDeliv, batDeliv []wire.Control
+		e1 := NewEndpoint(eng, DefaultParams(), func([]byte) {}, func(c wire.Control) {
+			seqDeliv = append(seqDeliv, c)
 		})
-		e.HandleFrame(data)
-		e.HandleFrame(data) // exact duplicate: must be dropped by seq check
+		e2 := NewEndpoint(eng, DefaultParams(), func([]byte) {}, func(wire.Control) {
+			t.Error("per-message recv called on an endpoint with a batch receiver")
+		})
+		e2.SetBatchReceiver(func(cs []wire.Control) {
+			batDeliv = append(batDeliv, cs...)
+		})
+		for _, e := range [2]*Endpoint{e1, e2} {
+			e.HandleFrame(data)
+			e.HandleFrame(data) // exact duplicate: must be dropped by seq check
+		}
 		eng.RunFor(time.Second)
 		if frame, err := wire.Unmarshal(data); err == nil && frame.Seq == 1 {
-			if want := len(frame.Controls); delivered != want {
+			if want := len(frame.Controls); len(seqDeliv) != want {
 				t.Fatalf("frame with %d controls delivered %d (duplicate not suppressed?)",
-					want, delivered)
+					want, len(seqDeliv))
 			}
+		}
+		if len(seqDeliv) != len(batDeliv) {
+			t.Fatalf("per-message delivered %d controls, batched %d", len(seqDeliv), len(batDeliv))
+		}
+		for i := range seqDeliv {
+			if seqDeliv[i] != batDeliv[i] {
+				t.Fatalf("delivery %d diverged: %+v vs %+v", i, seqDeliv[i], batDeliv[i])
+			}
+		}
+		if e1.Stats() != e2.Stats() {
+			t.Fatalf("endpoint counters diverged:\n  per-message: %+v\n  batched:     %+v",
+				e1.Stats(), e2.Stats())
 		}
 	})
 }

@@ -122,6 +122,10 @@ type Endpoint struct {
 	p    Params
 	send func([]byte)       // hand a marshaled frame to the link layer
 	recv func(wire.Control) // upcall for each delivered control message
+	// recvBatch, when set, replaces recv for in-order payload frames: the
+	// daemon gets the whole decoded control batch in one upcall, in frame
+	// order. See SetBatchReceiver for the slice-ownership contract.
+	recvBatch func([]wire.Control)
 
 	// Sender state.
 	outQ      []wire.Control
@@ -237,12 +241,33 @@ func (e *Endpoint) Stop() {
 	e.ackTimer.Stop()
 }
 
+// SetBatchReceiver upgrades the endpoint to batched delivery: in-order
+// payload frames hand the daemon the whole decoded control batch in one
+// upcall instead of len(Controls) per-message calls, preserving in-frame
+// order. The slice is the endpoint's decode scratch — valid only for the
+// duration of the upcall; the receiver must not retain it. The per-message
+// recv callback stays as given to NewEndpoint (unused while a batch
+// receiver is set).
+func (e *Endpoint) SetBatchReceiver(fn func([]wire.Control)) { e.recvBatch = fn }
+
 // Submit queues a control message for transmission.
 func (e *Endpoint) Submit(c wire.Control) {
 	if e.stopped {
 		return
 	}
 	e.outQ = append(e.outQ, c)
+	e.pump()
+}
+
+// SubmitBatch queues every control in cs for transmission and schedules at
+// most one frame, exactly as len(cs) sequential Submit calls would (each
+// Submit after the first finds the tx timer armed and returns). cs is
+// copied into the out-queue; the caller keeps ownership of the slice.
+func (e *Endpoint) SubmitBatch(cs []wire.Control) {
+	if e.stopped || len(cs) == 0 {
+		return
+	}
+	e.outQ = append(e.outQ, cs...)
 	e.pump()
 }
 
@@ -406,9 +431,13 @@ func (e *Endpoint) HandleFrame(data []byte) {
 	switch {
 	case f.Seq == e.recvCum+1:
 		e.recvCum++
-		for _, c := range f.Controls {
-			e.stats.ControlsDeliv++
-			e.recv(c)
+		e.stats.ControlsDeliv += uint64(len(f.Controls))
+		if e.recvBatch != nil {
+			e.recvBatch(f.Controls)
+		} else {
+			for _, c := range f.Controls {
+				e.recv(c)
+			}
 		}
 	case f.Seq <= e.recvCum:
 		e.stats.Duplicates++

@@ -155,6 +155,71 @@ func (r *Runtime) At(t sim.Time, fn func()) sim.Timer {
 	return sim.MakeTimer(r, idx, gen, t)
 }
 
+// ScheduleBatch schedules every function in fns to run after delay d
+// (clamped to zero), appending one handle per function to out and returning
+// it. Semantically identical to len(fns) sequential Schedule calls, but the
+// timer lock is taken once for the whole batch, the heap is restored once
+// (per-item sift-up for small batches, bottom-up heapify when the batch
+// rivals the standing population), and the timer goroutine is nudged at
+// most once. Recovery storms arm their per-channel rejoin timers here.
+func (r *Runtime) ScheduleBatch(d sim.Duration, fns []func(), out []sim.Timer) []sim.Timer {
+	if d < 0 {
+		d = 0
+	}
+	if len(fns) == 0 {
+		return out
+	}
+	t := r.Now().Add(d)
+	r.tmu.Lock()
+	var oldEarliest int32 = -1
+	if len(r.heap) > 0 {
+		oldEarliest = r.heap[0]
+	}
+	start := len(r.heap)
+	for _, fn := range fns {
+		if fn == nil {
+			r.tmu.Unlock()
+			panic("realtime: nil event function")
+		}
+		var idx int32
+		if n := len(r.free); n > 0 {
+			idx = r.free[n-1]
+			r.free = r.free[:n-1]
+		} else {
+			r.slots = append(r.slots, timerSlot{})
+			idx = int32(len(r.slots) - 1)
+		}
+		s := &r.slots[idx]
+		s.at = t
+		s.seq = r.seq
+		s.fn = fn
+		r.seq++
+		s.pos = int32(len(r.heap))
+		r.heap = append(r.heap, idx)
+		out = append(out, sim.MakeTimer(r, idx, s.gen, t))
+	}
+	n := len(r.heap)
+	if k := n - start; k*4 < n || n < 8 {
+		for i := start; i < n; i++ {
+			r.siftUp(i)
+		}
+	} else {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			r.siftDown(i)
+		}
+	}
+	becameEarliest := r.heap[0] != oldEarliest
+	r.tmu.Unlock()
+
+	if becameEarliest {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return out
+}
+
 // StopTimer implements sim.TimerHost: cancel the (idx, gen) slot if that
 // generation is still pending. Because due timers are popped with both mu
 // and tmu held, a true return guarantees the callback will not run.

@@ -72,6 +72,67 @@ func TestStopPreventsFire(t *testing.T) {
 	}
 }
 
+// TestScheduleBatch checks the bulk-insert path on the wall clock: a batch
+// fires in FIFO order among itself, interleaves with standing timers by
+// deadline, honors Stop on individual handles, and wakes the timer
+// goroutine when the batch introduces a new earliest deadline.
+func TestScheduleBatch(t *testing.T) {
+	r := New(1)
+	defer r.Stop()
+
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	const total = 14 // 12 surviving batch timers + 1 late + 1 standing
+	add := func(v int) func() {
+		return func() {
+			mu.Lock()
+			got = append(got, v)
+			n := len(got)
+			mu.Unlock()
+			if n == total {
+				close(done)
+			}
+		}
+	}
+	// A standing timer far out, so the batch at 20ms becomes the new
+	// earliest deadline and must wake the sleeping timer goroutine.
+	r.Schedule(60*time.Millisecond, add(999))
+	fns := make([]func(), 13)
+	for i := range fns {
+		fns[i] = add(i)
+	}
+	handles := r.ScheduleBatch(20*time.Millisecond, fns, nil)
+	if len(handles) != 13 {
+		t.Fatalf("got %d handles, want 13", len(handles))
+	}
+	if !handles[7].Stop() {
+		t.Fatal("Stop on a pending batch handle should return true")
+	}
+	r.Schedule(40*time.Millisecond, add(1000))
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch timers did not fire")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := make([]int, 0, total)
+	for i := 0; i < 13; i++ {
+		if i == 7 {
+			continue
+		}
+		want = append(want, i)
+	}
+	want = append(want, 1000, 999)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
 // TestRearmFromCallback checks release-before-fire: a callback can re-arm a
 // periodic timer, recycling its own arena slot, and the old handle is dead.
 func TestRearmFromCallback(t *testing.T) {

@@ -36,6 +36,13 @@ type Runtime interface {
 	// At runs fn at absolute time t (>= Now in sim; clamped to now by the
 	// wall-clock runtime).
 	At(t sim.Time, fn func()) sim.Timer
+	// ScheduleBatch schedules every function in fns to run after delay d,
+	// appending one handle per function to out (reusing its capacity) and
+	// returning it. Equivalent to len(fns) sequential Schedule calls — same
+	// deadlines, same FIFO order — but the host restores its timer heap
+	// (and, on the wall clock, takes its timer lock and nudges the timer
+	// goroutine) once per batch instead of once per timer.
+	ScheduleBatch(d sim.Duration, fns []func(), out []sim.Timer) []sim.Timer
 	// RNG returns the runtime's random source. It is only safe to use from
 	// runtime-serialized callbacks.
 	RNG() *rand.Rand

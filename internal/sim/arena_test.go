@@ -140,6 +140,73 @@ func TestSteadyStateSchedulingAllocFree(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("schedule+cancel allocates %v/op, want 0", n)
 	}
+	// Bulk insert with a reused handle slice: warm, then alloc-free. This is
+	// the storm path — one component failure arming a round's worth of
+	// rejoin timers in one call.
+	fns := make([]func(), 16)
+	for i := range fns {
+		fns[i] = fn
+	}
+	handles := e.ScheduleBatch(time.Microsecond, fns, nil)
+	for _, tm := range handles {
+		tm.Stop()
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		handles = e.ScheduleBatch(time.Microsecond, fns, handles[:0])
+		for _, tm := range handles {
+			tm.Stop()
+		}
+	}); n != 0 {
+		t.Fatalf("ScheduleBatch allocates %v/op, want 0", n)
+	}
+}
+
+// TestScheduleBatchEquivalence drives a batch big enough to take the
+// bottom-up heapify branch against a standing population and checks the
+// firing order is exactly the sequential-schedule order: batch entries fire
+// FIFO among themselves and interleave with the standing timers by
+// deadline.
+func TestScheduleBatchEquivalence(t *testing.T) {
+	e := New(1)
+	var got []int
+	record := func(id int) func() { return func() { got = append(got, id) } }
+	// Standing timers at 1ms, 3ms, 5ms.
+	e.Schedule(1*time.Millisecond, record(1))
+	e.Schedule(3*time.Millisecond, record(3))
+	e.Schedule(5*time.Millisecond, record(5))
+	// A batch of 12 at 4ms — k*4 >= n forces the heapify path.
+	fns := make([]func(), 12)
+	for i := range fns {
+		fns[i] = record(100 + i)
+	}
+	handles := e.ScheduleBatch(4*time.Millisecond, fns, nil)
+	if len(handles) != 12 {
+		t.Fatalf("got %d handles, want 12", len(handles))
+	}
+	for _, h := range handles {
+		if !h.Active() || h.When() != Time(4*time.Millisecond) {
+			t.Fatalf("batch handle not pending at 4ms: active=%v when=%v", h.Active(), h.When())
+		}
+	}
+	// Stop one mid-batch handle; the rest must be unaffected.
+	handles[5].Stop()
+	e.Run()
+	want := []int{1, 3}
+	for i := 0; i < 12; i++ {
+		if i == 5 {
+			continue
+		}
+		want = append(want, 100+i)
+	}
+	want = append(want, 5)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
 }
 
 // --- differential oracle ---------------------------------------------------
@@ -239,8 +306,11 @@ func TestDifferentialVsContainerHeap(t *testing.T) {
 		var live []pair
 		nextID := 0
 
+		var batchTimers []Timer // reused ScheduleBatch output
+		var batchFns []func()
+
 		for op := 0; op < 2000; op++ {
-			switch r := rng.Intn(10); {
+			switch r := rng.Intn(12); {
 			case r < 5: // schedule; coarse deadlines force ties
 				at := e.Now().Add(time.Duration(rng.Intn(8)) * time.Millisecond)
 				id := nextID
@@ -248,7 +318,21 @@ func TestDifferentialVsContainerHeap(t *testing.T) {
 				st := e.At(at, func() {})
 				ot := o.schedule(at, id)
 				live = append(live, pair{st, ot})
-			case r < 8: // fire next
+			case r < 7: // bulk insert: must equal k sequential schedules
+				d := time.Duration(rng.Intn(8)) * time.Millisecond
+				k := 1 + rng.Intn(6)
+				batchFns = batchFns[:0]
+				for j := 0; j < k; j++ {
+					batchFns = append(batchFns, func() {})
+				}
+				batchTimers = e.ScheduleBatch(d, batchFns, batchTimers[:0])
+				at := e.Now().Add(d)
+				for j := 0; j < k; j++ {
+					id := nextID
+					nextID++
+					live = append(live, pair{batchTimers[j], o.schedule(at, id)})
+				}
+			case r < 10: // fire next
 				var subjectFired bool
 				if len(e.heap) > 0 {
 					subjectFired = true

@@ -183,6 +183,66 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	return Timer{host: e, idx: idx, gen: s.gen, at: t}
 }
 
+// ScheduleBatch schedules every function in fns to run after delay d,
+// appending one handle per function to out (whose capacity is reused) and
+// returning it. The batch behaves exactly like len(fns) sequential Schedule
+// calls — same deadlines, same FIFO order among the batch and against
+// everything else in the queue — but the heap is restored once per batch:
+// small batches sift each new slot up individually, while a batch that
+// rivals the standing population re-heapifies bottom-up in O(n). Recovery
+// storms arm their per-channel rejoin timers through this path.
+func (e *Engine) ScheduleBatch(d Duration, fns []func(), out []Timer) []Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	t := e.now.Add(d)
+	start := len(e.heap)
+	for _, fn := range fns {
+		if fn == nil {
+			panic("sim: nil event function")
+		}
+		var idx int32
+		if n := len(e.free); n > 0 {
+			idx = e.free[n-1]
+			e.free = e.free[:n-1]
+		} else {
+			e.slots = append(e.slots, timerSlot{})
+			idx = int32(len(e.slots) - 1)
+		}
+		s := &e.slots[idx]
+		s.at = t
+		s.seq = e.seq
+		s.fn = fn
+		e.seq++
+		s.pos = int32(len(e.heap))
+		e.heap = append(e.heap, idx)
+		out = append(out, Timer{host: e, idx: idx, gen: s.gen, at: t})
+	}
+	e.restoreSuffix(start)
+	return out
+}
+
+// restoreSuffix restores the heap property after new entries were appended
+// at positions [start, len). Per-item sift-up costs O(k log n); when the
+// batch rivals the standing population a bottom-up heapify is O(n) total
+// and wins. Either strategy yields the same (at, seq) firing order.
+func (e *Engine) restoreSuffix(start int) {
+	n := len(e.heap)
+	k := n - start
+	if k == 0 {
+		return
+	}
+	if k*4 < n || n < 8 {
+		for i := start; i < n; i++ {
+			e.siftUp(i)
+		}
+		return
+	}
+	for i := (n - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
 // StopTimer implements TimerHost: it cancels the (idx, gen) slot if that
 // generation is still pending, unlinking it from the heap in O(log n).
 func (e *Engine) StopTimer(idx int32, gen uint32) bool {
